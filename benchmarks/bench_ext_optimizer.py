@@ -1,0 +1,62 @@
+"""Extension (paper Section 1): the optimizer use-case.
+
+Sweeps operand sizes and prints which join implementation the
+cost-model-driven advisor picks — showing the crossover from plain
+hash join (cache-resident hash table) to partitioned hash join.
+"""
+
+from repro.core import DataRegion
+from repro.hardware import origin2000
+from repro.optimizer import JoinAdvisor
+
+
+def render_crossover() -> str:
+    advisor = JoinAdvisor(origin2000(), inputs_sorted=False)
+    lines = ["== Extension: cost-based join choice (Origin2000, unsorted "
+             "operands, w=8) =="]
+    lines.append(f"{'n (rows)':>12}{'||H|| ':>12}{'choice':<24}"
+                 f"{'merge [ms]':>12}{'hash [ms]':>12}{'part-hash [ms]':>15}")
+    for n in (10_000, 100_000, 400_000, 1_000_000, 4_000_000, 16_000_000):
+        U = DataRegion("U", n=n, w=8)
+        V = DataRegion("V", n=n, w=8)
+        W = DataRegion("W", n=n, w=16)
+        by_name = {c.algorithm: c for c in advisor.rank(U, V, W)}
+        best = min(by_name.values(), key=lambda c: c.total_ns)
+        h_size = 16 * n
+        lines.append(
+            f"{n:>12}{_fmt_bytes(h_size):>12}{best.algorithm:<24}"
+            f"{by_name['merge_join'].total_ns / 1e6:>12.1f}"
+            f"{by_name['hash_join'].total_ns / 1e6:>12.1f}"
+            f"{by_name['partitioned_hash_join'].total_ns / 1e6:>15.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_bytes(b: int) -> str:
+    if b >= 1 << 20:
+        return f"{b / (1 << 20):.0f}MB"
+    return f"{b / 1024:.0f}kB"
+
+
+def test_optimizer_crossover(benchmark, save_result):
+    text = benchmark(render_crossover)
+    save_result("ext_optimizer", text)
+    assert "hash_join" in text
+
+
+def test_partitioning_wins_beyond_cache(benchmark):
+    advisor = JoinAdvisor(origin2000(), inputs_sorted=False)
+
+    def choices():
+        small = advisor.best(DataRegion("U", 50_000, 8),
+                             DataRegion("V", 50_000, 8),
+                             DataRegion("W", 50_000, 16))
+        big = advisor.rank(DataRegion("U", 16_000_000, 8),
+                           DataRegion("V", 16_000_000, 8),
+                           DataRegion("W", 16_000_000, 16))
+        return small, big
+
+    small, big = benchmark(choices)
+    by_name = {c.algorithm: c for c in big}
+    assert (by_name["partitioned_hash_join"].total_ns
+            < by_name["hash_join"].total_ns)

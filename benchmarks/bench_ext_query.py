@@ -1,0 +1,55 @@
+"""Extension: whole-query cost derivation (paper Section 6: "Extension
+to ... whole queries is straight forward").
+
+A select -> hash-join -> aggregate pipeline is executed on the simulator
+and priced as the ⊕-combination of its operators' patterns; the bench
+reports per-operator and whole-plan predicted vs measured costs.
+"""
+
+from repro.core import CostModel
+from repro.db import Database, random_permutation
+from repro.hardware import origin2000_scaled
+from repro.query import (
+    AggregateNode,
+    HashJoinNode,
+    QueryPlan,
+    ScanNode,
+    SelectNode,
+)
+
+
+def run_query(n: int):
+    hierarchy = origin2000_scaled()
+    model = CostModel(hierarchy)
+    db = Database(hierarchy)
+    left = db.create_column("U", random_permutation(n, seed=1), width=8)
+    right = db.create_column("V", random_permutation(n, seed=2), width=8)
+    plan = QueryPlan(AggregateNode(
+        HashJoinNode(
+            SelectNode(ScanNode(left), lambda v: v % 2 == 0,
+                       selectivity=0.5),
+            ScanNode(right),
+        ),
+        groups=64,
+        key_of=lambda pair: pair[0] % 64,
+    ))
+    predicted = plan.estimate(model).memory_ns
+    db.reset()
+    with db.measure() as res:
+        out = plan.execute(db)
+    measured = res[0].elapsed_ns
+    text = "\n".join([
+        f"== Extension: whole query (n = {n}) ==",
+        plan.explain(model),
+        f"  measured (simulator)          T_mem {measured / 1e3:>10.1f} us",
+        f"  groups emitted: {len(out.values)}",
+    ])
+    return text, predicted, measured
+
+
+def test_ext_whole_query(benchmark, save_result):
+    text, predicted, measured = benchmark.pedantic(
+        lambda: run_query(8192), rounds=1, iterations=1,
+    )
+    save_result("ext_query", text)
+    assert 0.4 * measured <= predicted <= 2.0 * measured

@@ -1,0 +1,58 @@
+"""Extension: multi-pass radix partitioning (the [MBK00a] optimization).
+
+Figure 7d shows single-pass partitioning thrashing once m exceeds the
+TLB entry count.  Multi-pass radix clustering bounds every pass's fanout
+below the thrash point; this bench measures both on the simulator and
+prices both with the model — the crossover where two cheap passes beat
+one thrashing pass appears in both series.
+"""
+
+from repro.core import CostModel, DataRegion, partition_pattern
+from repro.db import Database, partition, radix_partition, uniform_ints
+from repro.db.radix import radix_partition_pattern
+from repro.hardware import origin2000_scaled
+
+
+def run_comparison(n: int, m_values) -> str:
+    hierarchy = origin2000_scaled()
+    model = CostModel(hierarchy)
+    fanout = 8  # == scaled TLB entries
+    lines = ["== Extension: single-pass vs multi-pass radix partitioning "
+             f"(||U|| = {8 * n // 1024} kB, fanout {fanout}) =="]
+    lines.append(f"{'m':>6}  {'1-pass meas':>12}{'1-pass pred':>13}"
+                 f"{'radix meas':>12}{'radix pred':>12}   [us]")
+    crossover_seen = False
+    for m in m_values:
+        db1 = Database(hierarchy)
+        col1 = db1.create_column("U", uniform_ints(n, seed=1), width=8)
+        db1.reset()
+        with db1.measure() as res1:
+            partition(db1, col1, m)
+        db2 = Database(hierarchy)
+        col2 = db2.create_column("U", uniform_ints(n, seed=1), width=8)
+        db2.reset()
+        with db2.measure() as res2:
+            radix_partition(db2, col2, m, fanout=fanout)
+        U = DataRegion("U", n=n, w=8)
+        H = DataRegion("H", n=n, w=8)
+        pred1 = model.estimate(partition_pattern(U, H, m)).memory_ns / 1e3
+        pred2 = model.estimate(
+            radix_partition_pattern(U, m=m, fanout=fanout)).memory_ns / 1e3
+        meas1 = res1[0].elapsed_ns / 1e3
+        meas2 = res2[0].elapsed_ns / 1e3
+        if meas2 < meas1 and pred2 < pred1:
+            crossover_seen = True
+        lines.append(f"{m:>6}  {meas1:>12.0f}{pred1:>13.0f}"
+                     f"{meas2:>12.0f}{pred2:>12.0f}")
+    lines.append("crossover (radix wins in both series): "
+                 + ("yes" if crossover_seen else "no"))
+    return "\n".join(lines)
+
+
+def test_ext_radix_partitioning(benchmark, save_result):
+    text = benchmark.pedantic(
+        lambda: run_comparison(16384, (4, 8, 16, 64, 256)),
+        rounds=1, iterations=1,
+    )
+    save_result("ext_radix", text)
+    assert "crossover (radix wins in both series): yes" in text

@@ -1,0 +1,24 @@
+"""Figure 5: impact of the used-bytes parameter ``u`` and of alignment
+on traversal misses (panels a: L1, b: L2; sequential and random
+variants).  Points = simulator, lines = Eqs. 4.2-4.5."""
+
+from repro.validation import figure5
+
+
+def test_fig5_sequential_traversal(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure5(n=4096, w=256),
+        rounds=1, iterations=1,
+    )
+    save_result("fig5_seq", result.render())
+    # The alignment-averaged prediction tracks the measured average.
+    assert result.max_ratio_error("L1 avg") < 0.3
+
+
+def test_fig5_random_traversal(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure5(n=2048, w=256, randomized=True),
+        rounds=1, iterations=1,
+    )
+    save_result("fig5_rand", result.render())
+    assert result.max_ratio_error("L1 avg") < 0.6

@@ -1,0 +1,42 @@
+"""Figure 6: impact of item size R.w and region size ||R|| on traversal
+misses.  Four panels as in the paper: (a) s_trav/L1, (b) s_trav/L2,
+(c) r_trav/L1, (d) r_trav/L2 — region sizes bracket the level capacity,
+showing that sequential traversals are capacity-invariant while random
+traversals pay extra once ||R|| exceeds the cache."""
+
+import math
+
+from repro.validation import figure6, geometric_mean_ratio
+
+
+def _run(benchmark, save_result, name, level, randomized):
+    result = benchmark.pedantic(
+        lambda: figure6(level=level, randomized=randomized),
+        rounds=1, iterations=1,
+    )
+    save_result(name, result.render())
+    return result
+
+
+def test_fig6a_sequential_l1(benchmark, save_result):
+    result = _run(benchmark, save_result, "fig6a_seq_L1", "L1", False)
+    for key in result.level_keys:
+        assert 0.8 < geometric_mean_ratio(result.rows, key) < 1.25
+
+
+def test_fig6b_sequential_l2(benchmark, save_result):
+    result = _run(benchmark, save_result, "fig6b_seq_L2", "L2", False)
+    for key in result.level_keys:
+        assert 0.8 < geometric_mean_ratio(result.rows, key) < 1.25
+
+
+def test_fig6c_random_l1(benchmark, save_result):
+    result = _run(benchmark, save_result, "fig6c_rand_L1", "L1", True)
+    for key in result.level_keys:
+        assert 0.4 < geometric_mean_ratio(result.rows, key) < 2.5
+
+
+def test_fig6d_random_l2(benchmark, save_result):
+    result = _run(benchmark, save_result, "fig6d_rand_L2", "L2", True)
+    for key in result.level_keys:
+        assert 0.4 < geometric_mean_ratio(result.rows, key) < 2.5

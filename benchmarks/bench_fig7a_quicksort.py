@@ -1,0 +1,24 @@
+"""Figure 7a: quick-sort — measured vs predicted L1/L2/TLB misses and
+time across table sizes spanning the (scaled) L2 capacity.  The paper's
+headline effect: tables fitting the cache are loaded once during the
+top-level pass; larger tables pay per recursion level."""
+
+from repro.validation import figure7a_quicksort
+
+
+def test_fig7a_quicksort(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure7a_quicksort(sizes_kb=(4, 8, 16, 32, 64, 128, 256)),
+        rounds=1, iterations=1,
+    )
+    save_result("fig7a_quicksort", result.render())
+
+    # Crossover shape: per-byte L2 misses flat below C2 (64 kB scaled),
+    # clearly rising above.
+    rows = {row.x_label: row for row in result.rows}
+    below = rows["16kB"].measured["L2"] / 16
+    above = rows["256kB"].measured["L2"] / 256
+    assert above > 1.5 * below
+    # Model within a factor of two on L2/TLB/time at all sizes.
+    for key in ("L2", "TLB", "time_us"):
+        assert result.max_ratio_error(key) <= 1.0

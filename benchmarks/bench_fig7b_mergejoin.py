@@ -1,0 +1,21 @@
+"""Figure 7b: merge-join of sorted 1:1 operands — costs are purely
+sequential, proportional to data size, and unaffected by cache capacity
+(no step anywhere)."""
+
+from repro.validation import figure7b_mergejoin, geometric_mean_ratio
+
+
+def test_fig7b_mergejoin(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure7b_mergejoin(sizes_kb=(4, 8, 16, 32, 64, 128, 256)),
+        rounds=1, iterations=1,
+    )
+    save_result("fig7b_mergejoin", result.render())
+
+    # Tight agreement (the paper's cleanest validation case).
+    for key in ("L1", "L2", "TLB"):
+        gm = geometric_mean_ratio(result.rows, key)
+        assert 0.8 < gm < 1.25
+    # Linearity: 64x the size, ~64x the L1 misses.
+    rows = {row.x_label: row for row in result.rows}
+    assert rows["256kB"].measured["L1"] / rows["4kB"].measured["L1"] > 40

@@ -1,0 +1,22 @@
+"""Figure 7c: hash-join — the random hash-table access dominates once
+``||H||`` exceeds the TLB's virtual capacity (scaled C3 = 32 kB) and the
+L2 capacity (scaled C2 = 64 kB)."""
+
+from repro.validation import figure7c_hashjoin, geometric_mean_ratio
+
+
+def test_fig7c_hashjoin(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure7c_hashjoin(sizes_kb=(2, 4, 8, 16, 32, 64, 128)),
+        rounds=1, iterations=1,
+    )
+    save_result("fig7c_hashjoin", result.render())
+
+    rows = list(result.rows)
+    # TLB misses explode across the ||H|| = C3 crossing in both series.
+    assert rows[-1].measured["TLB"] > 50 * rows[0].measured["TLB"]
+    assert rows[-1].predicted["TLB"] > 50 * max(1.0, rows[0].predicted["TLB"])
+    # Order-of-magnitude agreement on the dominating levels.
+    for key in ("L2", "TLB", "time_us"):
+        gm = geometric_mean_ratio(result.rows, key)
+        assert 0.25 < gm < 2.0

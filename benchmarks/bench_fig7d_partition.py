@@ -1,0 +1,26 @@
+"""Figure 7d: partitioning a fixed-size table into m clusters — misses
+jump whenever the m concurrently active output lines/pages exceed a
+level's capacity in lines (TLB entries, L1 lines, L2 lines)."""
+
+from repro.validation import figure7d_partition
+
+
+def test_fig7d_partition(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure7d_partition(
+            total_kb=128,
+            m_values=(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)),
+        rounds=1, iterations=1,
+    )
+    save_result("fig7d_partition", result.render())
+
+    rows = {row.x_label: row for row in result.rows}
+    # TLB crossover at 8 entries (scaled): m=32 thrashes, m=4 does not.
+    assert rows["32"].measured["TLB"] > 3 * rows["4"].measured["TLB"]
+    assert rows["32"].predicted["TLB"] > 3 * rows["4"].predicted["TLB"]
+    # L1 crossover at 64 lines.
+    assert rows["512"].measured["L1"] > 1.5 * rows["16"].measured["L1"]
+    assert rows["512"].predicted["L1"] > 1.5 * rows["16"].predicted["L1"]
+    # L2 crossover at 512 lines.
+    assert rows["1024"].measured["L2"] > 1.5 * rows["64"].measured["L2"]
+    assert rows["1024"].predicted["L2"] > 1.5 * rows["64"].predicted["L2"]

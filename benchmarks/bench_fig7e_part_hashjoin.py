@@ -1,0 +1,22 @@
+"""Figure 7e: partitioned hash-join — join cost collapses once each
+per-partition hash table fits the caches (scaled C2/C3/C1 crossings)."""
+
+from repro.validation import figure7e_partitioned_hashjoin
+
+
+def test_fig7e_partitioned_hashjoin(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: figure7e_partitioned_hashjoin(
+            total_kb=128, m_values=(1, 2, 4, 8, 16, 32, 64, 128)),
+        rounds=1, iterations=1,
+    )
+    save_result("fig7e_part_hashjoin", result.render())
+
+    rows = list(result.rows)
+    unpartitioned = rows[0]
+    fitting = rows[5]   # m=32: ||Hj|| = 16 kB, below every capacity
+    # Both series show the big win once partitions are cache-resident.
+    assert fitting.measured["time_us"] < 0.35 * unpartitioned.measured["time_us"]
+    assert fitting.predicted["time_us"] < 0.35 * unpartitioned.predicted["time_us"]
+    # TLB misses essentially disappear.
+    assert fitting.measured["TLB"] < 0.1 * unpartitioned.measured["TLB"]

@@ -1,0 +1,44 @@
+"""Table 3: hardware characteristics as measured by the Calibrator.
+
+The paper's Table 3 lists the Origin2000 parameters "measured with our
+calibration tool".  We run the reproduced Calibrator against the
+simulated (scaled) machine and print recovered vs configured values.
+"""
+
+from repro.calibrator import calibrate
+from repro.hardware import origin2000_scaled
+
+
+def render_table3() -> str:
+    hierarchy = origin2000_scaled()
+    result = calibrate(hierarchy)
+    configured = sorted(hierarchy.all_levels, key=lambda l: l.capacity)
+    lines = [f"== Table 3: calibrated vs configured — {hierarchy.name} =="]
+    lines.append(f"{'quantity':<26}{'calibrated':>14}{'configured':>14}")
+    for found, actual in zip(result.levels, configured):
+        lines.append(f"[{actual.name}]")
+        lines.append(f"{'  capacity [bytes]':<26}{found.capacity:>14}"
+                     f"{actual.capacity:>14}")
+        lines.append(f"{'  line size [bytes]':<26}{found.line_size:>14}"
+                     f"{actual.line_size:>14}")
+        lines.append(f"{'  seq miss latency [ns]':<26}"
+                     f"{found.seq_miss_latency_ns:>14}"
+                     f"{actual.seq_miss_latency_ns:>14}")
+        lines.append(f"{'  rand miss latency [ns]':<26}"
+                     f"{found.rand_miss_latency_ns:>14}"
+                     f"{actual.rand_miss_latency_ns:>14}")
+    return "\n".join(lines)
+
+
+def test_table3_calibration(benchmark, save_result):
+    text = benchmark.pedantic(render_table3, rounds=1, iterations=1)
+    save_result("table3_calibration", text)
+    assert "capacity" in text
+
+
+def test_table3_capacities_recovered_exactly(benchmark):
+    hierarchy = origin2000_scaled()
+    result = benchmark.pedantic(lambda: calibrate(hierarchy),
+                                rounds=1, iterations=1)
+    configured = sorted(l.capacity for l in hierarchy.all_levels)
+    assert [l.capacity for l in result.levels] == configured

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it runs the
+experiment (simulator-measured vs model-predicted), saves the rendered
+series under ``benchmarks/results/`` and prints it, so both the
+pytest-benchmark timing table and the reproduced series are available.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered experiment table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,41 @@
+"""Run the Calibrator against simulated machines.
+
+The paper's cost model is instantiated per machine by a calibration tool
+that measures capacities, line sizes and latencies from timing alone
+(Section 2.3, Table 3).  This example calibrates two simulated machines
+and prints recovered vs configured parameters.
+
+Run:  python examples/calibrate_machine.py
+"""
+
+from repro.calibrator import calibrate
+from repro.hardware import origin2000_scaled, tiny_test_machine
+
+
+def report(hierarchy) -> None:
+    print(f"calibrating: {hierarchy.name}")
+    result = calibrate(
+        hierarchy,
+        min_size=64 if hierarchy.level("L1").capacity < 1024 else 512,
+        max_size=8 * max(l.capacity for l in hierarchy.all_levels),
+        max_line=max(l.line_size for l in hierarchy.all_levels) * 2,
+    )
+    configured = sorted(hierarchy.all_levels, key=lambda l: l.capacity)
+    print(f"  {'level':<6} {'C found/true':>22} {'Z found/true':>16} "
+          f"{'l_s found/true':>18} {'l_r found/true':>18}")
+    for found, actual in zip(result.levels, configured):
+        print(f"  {actual.name:<6} "
+              f"{found.capacity:>10} /{actual.capacity:>10} "
+              f"{found.line_size:>7} /{actual.line_size:>7} "
+              f"{found.seq_miss_latency_ns:>8.1f} /{actual.seq_miss_latency_ns:>8.1f} "
+              f"{found.rand_miss_latency_ns:>8.1f} /{actual.rand_miss_latency_ns:>8.1f}")
+    print()
+
+
+def main() -> None:
+    report(origin2000_scaled())
+    report(tiny_test_machine())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""I/O-aware cost planning with the unified hardware model.
+
+The paper's Section 7 unification claim: main memory (the DBMS buffer
+pool) is just one more cache level in front of disk, so the same pattern
+language prices disk I/O.  This example sizes an out-of-core join: it
+compares a sort-merge plan (sequential I/O) against a plain hash join
+(random page access — seek-dominated) as the table outgrows the buffer
+pool, reproducing the classic rule that random I/O is poison.
+
+Run:  python examples/disk_spill_planning.py
+"""
+
+from repro.core import (
+    CostModel,
+    DataRegion,
+    hash_join_pattern,
+    merge_join_pattern,
+    quick_sort_pattern,
+)
+from repro.hardware import disk_extended, modern_x86
+
+
+def main() -> None:
+    pool_gb = 1
+    machine = disk_extended(modern_x86(), buffer_pool_bytes=pool_gb << 30)
+    model = CostModel(machine)
+    l1_capacity = min(l.capacity for l in machine.all_levels)
+    print(f"machine: {machine.name} (buffer pool {pool_gb} GB, "
+          f"8 kB pages, 5 ms seeks)\n")
+    print(f"{'rows':>14} {'table':>9} | {'sort-merge':>12} "
+          f"{'hash join':>12} | winner")
+
+    for n in (10**7, 5 * 10**7, 10**8, 2 * 10**8):
+        U = DataRegion("U", n=n, w=8)
+        V = DataRegion("V", n=n, w=8)
+        W = DataRegion("W", n=n, w=16)
+        sort_merge = (quick_sort_pattern(U, stop_bytes=l1_capacity)
+                      + quick_sort_pattern(V, stop_bytes=l1_capacity)
+                      + merge_join_pattern(U, V, W))
+        hash_plan = hash_join_pattern(U, V, W)
+        t_sm = model.estimate(sort_merge).memory_ns / 1e9
+        t_h = model.estimate(hash_plan).memory_ns / 1e9
+        winner = "sort-merge" if t_sm < t_h else "hash join"
+        size_gb = 8 * n / (1 << 30)
+        print(f"{n:>14,} {size_gb:>7.1f}GB | {t_sm:>11.1f}s {t_h:>11.1f}s "
+              f"| {winner}")
+
+    print("\nonce the hash table spills past the buffer pool, each probe "
+          "is a disk seek;\nthe sequential sort-merge plan wins exactly as "
+          "classical I/O cost models say —\nderived here from the same "
+          "pattern language as the cache-level costs.")
+
+
+if __name__ == "__main__":
+    main()

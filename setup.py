@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, which PEP 517
+editable installs require; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on machines with ``wheel``)
+installs the package from ``pyproject.toml`` metadata.
+"""
+
+from setuptools import setup
+
+setup()

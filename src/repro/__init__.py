@@ -1,0 +1,43 @@
+"""Reproduction of "Generic Database Cost Models for Hierarchical Memory
+Systems" (S. Manegold, P. A. Boncz, M. L. Kersten; CWI INS-R0203 / VLDB 2002).
+
+The package provides:
+
+* :mod:`repro.hardware` — the unified hardware model (cache levels, TLBs,
+  machine profiles including the paper's SGI Origin2000).
+* :mod:`repro.simulator` — a trace-driven cache-hierarchy simulator used as
+  the measurement substrate in place of hardware event counters.
+* :mod:`repro.core` — data regions, the basic/compound access-pattern
+  language, and the automatically combined cost functions (the paper's
+  contribution).
+* :mod:`repro.db` — a column-oriented main-memory engine whose operators
+  execute against the simulator (the Monet stand-in).
+* :mod:`repro.calibrator` — the parameter-measurement micro-benchmarks.
+* :mod:`repro.optimizer` — a cost-based algorithm advisor built on the model.
+* :mod:`repro.validation` — the model-vs-measurement experiment harness.
+"""
+
+from .hardware import (
+    CacheLevel,
+    MemoryHierarchy,
+    disk_extended,
+    modern_x86,
+    origin2000,
+    origin2000_scaled,
+    tiny_test_machine,
+)
+from .simulator import MemorySystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheLevel",
+    "MemoryHierarchy",
+    "MemorySystem",
+    "origin2000",
+    "origin2000_scaled",
+    "modern_x86",
+    "disk_extended",
+    "tiny_test_machine",
+    "__version__",
+]

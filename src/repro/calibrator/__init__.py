@@ -1,0 +1,6 @@
+"""Hardware-parameter calibration micro-benchmarks (the paper's
+Calibrator tool, run against the simulated memory)."""
+
+from .calibrator import CalibratedLevel, CalibrationResult, calibrate
+
+__all__ = ["CalibratedLevel", "CalibrationResult", "calibrate"]

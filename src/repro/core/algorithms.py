@@ -1,0 +1,301 @@
+"""Pattern descriptions of database algorithms (paper Table 2 & Section 6.2).
+
+Building a physical cost function for an operator "boils down to
+describing the algorithm's data access in a pattern language"
+(Section 7).  This module is that pattern library: one factory per
+operator, returning the compound pattern whose cost function the
+:class:`~repro.core.cost.CostModel` then derives automatically.
+
+Conventions (matching the paper's Table 2):
+
+* ``U`` — (left/outer) input region, ``V`` — right/inner input region,
+* ``W`` — output region,
+* ``H`` — hash-table region (``H.n`` entries of ``H.w`` bytes),
+* ``G`` — aggregate/group table region.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from .patterns import (
+    BI,
+    RANDOM,
+    SEQUENTIAL,
+    UNI,
+    Conc,
+    Nest,
+    Pattern,
+    RAcc,
+    RSTrav,
+    RTrav,
+    Seq,
+    STrav,
+)
+from .regions import DataRegion
+
+__all__ = [
+    "scan_pattern",
+    "select_pattern",
+    "project_pattern",
+    "hash_table_region",
+    "hash_build_pattern",
+    "hash_probe_pattern",
+    "hash_join_pattern",
+    "merge_join_pattern",
+    "nested_loop_join_pattern",
+    "partition_pattern",
+    "partitioned_hash_join_pattern",
+    "quick_sort_pattern",
+    "sort_aggregate_pattern",
+    "hash_aggregate_pattern",
+    "duplicate_elimination_pattern",
+    "merge_union_pattern",
+    "TABLE2",
+    "Table2Row",
+]
+
+#: Default bytes per hash-table entry (key + payload/oid).
+DEFAULT_HASH_ENTRY_WIDTH = 16
+
+
+# ----------------------------------------------------------------------
+# Unary operators.
+# ----------------------------------------------------------------------
+
+def scan_pattern(U: DataRegion, u: int | None = None) -> Pattern:
+    """Table scan: one sequential sweep over the input."""
+    return STrav(U, u)
+
+
+def select_pattern(U: DataRegion, W: DataRegion, u: int | None = None) -> Pattern:
+    """Selection: sequential input cursor, sequential output cursor."""
+    return STrav(U, u) * STrav(W)
+
+
+def project_pattern(U: DataRegion, W: DataRegion, u: int | None = None) -> Pattern:
+    """Projection: like selection, but reading only ``u`` bytes per item."""
+    return STrav(U, u) * STrav(W)
+
+
+def quick_sort_pattern(U: DataRegion, stop_bytes: int | None = None) -> Pattern:
+    """In-place quick-sort (Section 6.2).
+
+    Each partitioning pass runs two cursors concurrently towards each
+    other, one over each half of the sub-table
+    (``s_trav+(sub.L) ⊙ s_trav+(sub.R)``); recursion then descends
+    depth-first into both halves, ``⊕``-sequencing the passes.  Recursion
+    depth is ``ceil(log2 R.n)``.
+
+    ``stop_bytes`` prunes the generated tree: once a sub-table is no
+    larger than ``stop_bytes`` (use the *smallest* cache capacity of the
+    target machine), every deeper pass operates on fully cached data and
+    contributes zero misses at every level, so the pruned sub-trees are
+    exactly the free ones.  Without a bound the tree is generated down to
+    two-item sub-tables (fine for small regions only).
+    """
+    stop = 0 if stop_bytes is None else stop_bytes
+
+    def recurse(sub: DataRegion, depth: int) -> Pattern:
+        left, right = sub.halves(suffix=f"@{depth}")
+        pass_pattern: Pattern = STrav(left) * STrav(right)
+        if sub.n <= 2 or sub.size <= stop or left.n < 2 or right.n < 2:
+            return pass_pattern
+        return Seq.of(
+            pass_pattern,
+            recurse(left, depth + 1),
+            recurse(right, depth + 1),
+        )
+
+    return recurse(U, 0)
+
+
+# ----------------------------------------------------------------------
+# Hash-based building blocks.
+# ----------------------------------------------------------------------
+
+def hash_table_region(V: DataRegion,
+                      entry_width: int = DEFAULT_HASH_ENTRY_WIDTH) -> DataRegion:
+    """The hash-table region ``H`` for an input ``V`` (one entry/item)."""
+    return DataRegion(name=f"H({V.name})", n=V.n, w=entry_width)
+
+
+def hash_build_pattern(V: DataRegion, H: DataRegion) -> Pattern:
+    """Hash-table build: sequential input, random writes into ``H``.
+
+    A good hash function destroys any order, so the output cursor's hops
+    are modelled as a random traversal (Section 3.2).
+    """
+    return STrav(V) * RTrav(H)
+
+
+def hash_probe_pattern(U: DataRegion, H: DataRegion, W: DataRegion) -> Pattern:
+    """Hash-table probe: sequential outer input, ``U.n`` random hits into
+    ``H``, sequential output."""
+    return STrav(U) * RAcc(H, r=U.n) * STrav(W)
+
+
+def hash_join_pattern(U: DataRegion, V: DataRegion, W: DataRegion,
+                      entry_width: int = DEFAULT_HASH_ENTRY_WIDTH,
+                      H: DataRegion | None = None) -> Pattern:
+    """Hash join (Section 6.2)::
+
+        hash_join(U,V,W) = s_trav(V) ⊙ r_trav(H)
+                         ⊕ s_trav(U) ⊙ r_acc(U.n, H) ⊙ s_trav(W)
+
+    builds a hash table on the inner input ``V``, then probes it with the
+    outer input ``U``.
+    """
+    H = H or hash_table_region(V, entry_width)
+    return hash_build_pattern(V, H) + hash_probe_pattern(U, H, W)
+
+
+# ----------------------------------------------------------------------
+# Other joins.
+# ----------------------------------------------------------------------
+
+def merge_join_pattern(U: DataRegion, V: DataRegion, W: DataRegion) -> Pattern:
+    """Merge join of sorted operands: three concurrent sequential sweeps
+    (Section 6.2)."""
+    return STrav(U) * STrav(V) * STrav(W)
+
+
+def nested_loop_join_pattern(U: DataRegion, V: DataRegion, W: DataRegion) -> Pattern:
+    """Nested-loop join: for every outer item, a full sequential traversal
+    of the inner input (Section 3.2)."""
+    return STrav(U) * RSTrav(V, r=U.n, direction=UNI) * STrav(W)
+
+
+# ----------------------------------------------------------------------
+# Partitioning (Section 6.2).
+# ----------------------------------------------------------------------
+
+def partition_pattern(U: DataRegion, H: DataRegion, m: int) -> Pattern:
+    """Partition ``U`` into ``m`` clusters::
+
+        partition(U,H,m) = s_trav(U) ⊙ nest(H, m, s_trav, rand)
+
+    The input is read sequentially; the output region holds one
+    sequential local cursor per cluster, picked in (hash-)random order by
+    the global cursor.
+    """
+    return STrav(U) * Nest(H, m=m, local="s_trav", order=RANDOM)
+
+
+def partitioned_hash_join_pattern(
+        U_parts: tuple[DataRegion, ...],
+        V_parts: tuple[DataRegion, ...],
+        W_parts: tuple[DataRegion, ...],
+        entry_width: int = DEFAULT_HASH_ENTRY_WIDTH,
+        H_regions: tuple[DataRegion, ...] | None = None) -> Pattern:
+    """Partitioned hash join: a hash join per matching cluster pair::
+
+        part_hash_join = ⊕_{j=1..m} hash_join(U_j, V_j, W_j)
+
+    ``H_regions`` optionally overrides the default per-pair hash-table
+    regions (e.g. with the capacities an actual implementation chose).
+    """
+    if not (len(U_parts) == len(V_parts) == len(W_parts)):
+        raise ValueError("operand partition counts differ")
+    if H_regions is not None and len(H_regions) != len(U_parts):
+        raise ValueError("H_regions count differs from partition count")
+    joins = [
+        hash_join_pattern(u, v, w, entry_width,
+                          H=H_regions[j] if H_regions else None)
+        for j, (u, v, w) in enumerate(zip(U_parts, V_parts, W_parts))
+    ]
+    return Seq.of(*joins)
+
+
+# ----------------------------------------------------------------------
+# Aggregation / duplicate elimination / set operations.
+# ----------------------------------------------------------------------
+
+def sort_aggregate_pattern(U: DataRegion, W: DataRegion,
+                           stop_bytes: int | None = None) -> Pattern:
+    """Sort-based aggregation: quick-sort the input, then one sequential
+    pass emitting group results."""
+    return quick_sort_pattern(U, stop_bytes) + (STrav(U) * STrav(W))
+
+
+def hash_aggregate_pattern(U: DataRegion, G: DataRegion, W: DataRegion) -> Pattern:
+    """Hash-based aggregation: sequential input, one random hit into the
+    group table per item, sequential output of group results."""
+    return (STrav(U) * RAcc(G, r=U.n)) + (STrav(G) * STrav(W))
+
+
+def duplicate_elimination_pattern(U: DataRegion, H: DataRegion,
+                                  W: DataRegion) -> Pattern:
+    """Hash-based duplicate elimination (the paper notes aggregation and
+    duplicate elimination perform the sorting or hashing patterns)."""
+    return STrav(U) * RAcc(H, r=U.n) * STrav(W)
+
+
+def merge_union_pattern(U: DataRegion, V: DataRegion, W: DataRegion) -> Pattern:
+    """Union (and, structurally, intersection/difference) of sorted
+    inputs: derived from merge join, three concurrent sweeps."""
+    return STrav(U) * STrav(V) * STrav(W)
+
+
+# ----------------------------------------------------------------------
+# Table 2 registry (for rendering the paper's table).
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of paper Table 2: an algorithm and its pattern description."""
+
+    algorithm: str
+    description: str
+    example: Callable[[], Pattern]
+
+
+def _demo_regions() -> dict[str, DataRegion]:
+    U = DataRegion("U", n=1000, w=8)
+    V = DataRegion("V", n=1000, w=8)
+    W = DataRegion("W", n=1000, w=16)
+    return {
+        "U": U, "V": V, "W": W,
+        "H": hash_table_region(V),
+        "G": DataRegion("G", n=64, w=16),
+    }
+
+
+def _table2() -> tuple[Table2Row, ...]:
+    r = _demo_regions()
+    return (
+        Table2Row("scan(U)", "s_trav+(U)",
+                  lambda: scan_pattern(r["U"])),
+        Table2Row("select(U,W)", "s_trav+(U) ⊙ s_trav+(W)",
+                  lambda: select_pattern(r["U"], r["W"])),
+        Table2Row("project(U,W,u)", "s_trav+(U,u) ⊙ s_trav+(W)",
+                  lambda: project_pattern(r["U"], r["W"], u=4)),
+        Table2Row("sort(U)", "⊕_levels (s_trav+(U.L) ⊙ s_trav+(U.R)) — quick-sort",
+                  lambda: quick_sort_pattern(r["U"], stop_bytes=r["U"].size // 4)),
+        Table2Row("build(V,H)", "s_trav+(V) ⊙ r_trav(H)",
+                  lambda: hash_build_pattern(r["V"], r["H"])),
+        Table2Row("probe(U,H,W)", "s_trav+(U) ⊙ r_acc(U.n,H) ⊙ s_trav+(W)",
+                  lambda: hash_probe_pattern(r["U"], r["H"], r["W"])),
+        Table2Row("hash_join(U,V,W)",
+                  "build(V,H) ⊕ probe(U,H,W)",
+                  lambda: hash_join_pattern(r["U"], r["V"], r["W"])),
+        Table2Row("merge_join(U,V,W)", "s_trav+(U) ⊙ s_trav+(V) ⊙ s_trav+(W)",
+                  lambda: merge_join_pattern(r["U"], r["V"], r["W"])),
+        Table2Row("nl_join(U,V,W)",
+                  "s_trav+(U) ⊙ rs_trav(U.n, uni, V) ⊙ s_trav+(W)",
+                  lambda: nested_loop_join_pattern(r["U"], r["V"], r["W"])),
+        Table2Row("partition(U,H,m)", "s_trav+(U) ⊙ nest(H, m, s_trav, rand)",
+                  lambda: partition_pattern(r["U"], DataRegion("Hp", 1000, 8), 16)),
+        Table2Row("part_hash_join", "⊕_j hash_join(U_j, V_j, W_j)",
+                  lambda: partitioned_hash_join_pattern(
+                      r["U"].split(4), r["V"].split(4),
+                      tuple(DataRegion(f"W[{j}]", 250, 16) for j in range(4)))),
+        Table2Row("hash_aggr(U,G,W)", "s_trav+(U) ⊙ r_acc(U.n,G) ⊕ s_trav+(G) ⊙ s_trav+(W)",
+                  lambda: hash_aggregate_pattern(r["U"], r["G"], r["W"])),
+    )
+
+
+#: The rendered rows of paper Table 2 (algorithm, description, example).
+TABLE2: tuple[Table2Row, ...] = _table2()

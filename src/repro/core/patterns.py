@@ -1,0 +1,338 @@
+"""The access-pattern language of Section 3.
+
+Basic patterns (Section 3.2)::
+
+    s_trav  — single sequential traversal        STrav(R, u)
+    r_trav  — single random traversal            RTrav(R, u)
+    rs_trav — repetitive sequential traversal    RSTrav(r, direction, R, u)
+    rr_trav — repetitive random traversal        RRTrav(r, R, u)
+    r_acc   — random access (r hits)             RAcc(r, R, u)
+    nest    — interleaved multi-cursor access    Nest(R, m, local, order, ...)
+
+Sequential traversals come in two latency variants (Section 4.1): the
+``seq_latency=True`` variant (written ``s_trav+``) models code that can
+exploit the EDO/prefetch stream and incurs *sequential* misses; the
+``seq_latency=False`` variant (``s_trav-``) incurs the same *number* of
+misses but at random latency (data dependencies defeat overlapping).
+
+Compound patterns (Section 3.3) combine children with sequential
+execution ``⊕`` (:class:`Seq`) or concurrent execution ``⊙``
+(:class:`Conc`).  Python operators mirror the paper's precedence (``⊙``
+binds tighter than ``⊕``): ``a * b`` is concurrent, ``a + b`` is
+sequential, and ``*`` binds tighter than ``+`` in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+from .regions import DataRegion
+
+__all__ = [
+    "Pattern",
+    "BasicPattern",
+    "STrav",
+    "RTrav",
+    "RSTrav",
+    "RRTrav",
+    "RAcc",
+    "Nest",
+    "Seq",
+    "Conc",
+    "UNI",
+    "BI",
+    "SEQUENTIAL",
+    "RANDOM",
+]
+
+#: Traversal directions (parameter ``d`` of the paper).
+UNI: Literal["uni"] = "uni"
+BI: Literal["bi"] = "bi"
+
+#: Global cursor orders of ``nest`` (parameter ``o`` of the paper).
+SEQUENTIAL: Literal["seq"] = "seq"
+RANDOM: Literal["rand"] = "rand"
+
+
+class Pattern:
+    """Base class of all access patterns (basic and compound)."""
+
+    def __add__(self, other: "Pattern") -> "Seq":
+        """Sequential execution ``self ⊕ other`` (paper operator ⊕)."""
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return Seq.of(self, other)
+
+    def __mul__(self, other: "Pattern") -> "Conc":
+        """Concurrent execution ``self ⊙ other`` (paper operator ⊙)."""
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return Conc.of(self, other)
+
+    def regions(self) -> list[DataRegion]:
+        """All data regions referenced by this pattern, in order."""
+        raise NotImplementedError
+
+    def notation(self) -> str:
+        """Rendering in the paper's pattern notation."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.notation()
+
+
+@dataclass(frozen=True, repr=False)
+class BasicPattern(Pattern):
+    """A basic pattern over one data region.
+
+    ``u`` is the number of bytes actually used of each data item
+    (Section 3.2); it defaults to the full item width and must satisfy
+    ``1 <= u <= R.w``.
+    """
+
+    region: DataRegion
+    u: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.u is not None:
+            if self.u < 1:
+                raise ValueError(f"u must be >= 1, got {self.u}")
+            if self.u > self.region.w:
+                raise ValueError(
+                    f"u ({self.u}) exceeds item width {self.region.w} "
+                    f"of region {self.region.name}"
+                )
+
+    @property
+    def used_bytes(self) -> int:
+        """``u`` with the default (full item width) resolved."""
+        return self.region.w if self.u is None else self.u
+
+    @property
+    def is_random(self) -> bool:
+        """Whether this is a random pattern (only random misses)."""
+        raise NotImplementedError
+
+    def regions(self) -> list[DataRegion]:
+        return [self.region]
+
+    def _u_suffix(self) -> str:
+        return "" if self.u is None else f", {self.u}"
+
+
+@dataclass(frozen=True, repr=False)
+class STrav(BasicPattern):
+    """Single sequential traversal ``s_trav(R[, u])``.
+
+    ``seq_latency`` selects the ``s_trav+`` (True) or ``s_trav-`` (False)
+    variant of Section 4.1.
+    """
+
+    seq_latency: bool = True
+
+    @property
+    def is_random(self) -> bool:
+        return False
+
+    def notation(self) -> str:
+        sign = "+" if self.seq_latency else "-"
+        return f"s_trav{sign}({self.region.name}{self._u_suffix()})"
+
+
+@dataclass(frozen=True, repr=False)
+class RTrav(BasicPattern):
+    """Single random traversal ``r_trav(R[, u])``: every item exactly once,
+    in random order."""
+
+    @property
+    def is_random(self) -> bool:
+        return True
+
+    def notation(self) -> str:
+        return f"r_trav({self.region.name}{self._u_suffix()})"
+
+
+@dataclass(frozen=True, repr=False)
+class RSTrav(BasicPattern):
+    """Repetitive sequential traversal ``rs_trav(r, d, R[, u])``.
+
+    ``r`` traversals, each a full sequential sweep; ``direction`` says
+    whether subsequent sweeps run in the same (:data:`UNI`) or alternating
+    (:data:`BI`) direction — only bi-directional sweeps can re-use the
+    cache tail left by their predecessor (Section 4.5.1).
+    """
+
+    r: int = 1
+    direction: str = UNI
+    seq_latency: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.r < 1:
+            raise ValueError(f"r must be >= 1, got {self.r}")
+        if self.direction not in (UNI, BI):
+            raise ValueError(f"direction must be 'uni' or 'bi', got {self.direction!r}")
+
+    @property
+    def is_random(self) -> bool:
+        return False
+
+    def notation(self) -> str:
+        sign = "+" if self.seq_latency else "-"
+        return (f"rs_trav{sign}({self.r}, {self.direction}, "
+                f"{self.region.name}{self._u_suffix()})")
+
+
+@dataclass(frozen=True, repr=False)
+class RRTrav(BasicPattern):
+    """Repetitive random traversal ``rr_trav(r, R[, u])``.
+
+    Permutation orders of subsequent traversals are independent, so no
+    direction parameter exists (Section 3.2).
+    """
+
+    r: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.r < 1:
+            raise ValueError(f"r must be >= 1, got {self.r}")
+
+    @property
+    def is_random(self) -> bool:
+        return True
+
+    def notation(self) -> str:
+        return f"rr_trav({self.r}, {self.region.name}{self._u_suffix()})"
+
+
+@dataclass(frozen=True, repr=False)
+class RAcc(BasicPattern):
+    """Random access ``r_acc(r, R[, u])``: ``r`` independent uniform hits,
+    items may repeat and need not all be touched."""
+
+    r: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.r < 1:
+            raise ValueError(f"r must be >= 1, got {self.r}")
+
+    @property
+    def is_random(self) -> bool:
+        return True
+
+    def notation(self) -> str:
+        return f"r_acc({self.r}, {self.region.name}{self._u_suffix()})"
+
+
+@dataclass(frozen=True, repr=False)
+class Nest(BasicPattern):
+    """Interleaved multi-cursor access ``nest(R, m, P, o[, d])``.
+
+    ``R`` is divided into ``m`` equal sub-regions, each with a local
+    cursor performing ``local`` (the name of a basic pattern class); a
+    global cursor picks local cursors sequentially (``order=SEQUENTIAL``,
+    optionally with direction ``direction``) or randomly
+    (``order=RANDOM``).  This is the paper's model for partitioning
+    output: one sequential cursor per output buffer, hopping between
+    buffers in input-data order.
+    """
+
+    m: int = 1
+    local: str = "s_trav"
+    order: str = RANDOM
+    direction: str = UNI
+    seq_latency: bool = True
+    #: For a local ``r_acc``: total number of accesses across all cursors.
+    r: int | None = None
+
+    _LOCALS = ("s_trav", "r_trav", "r_acc")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.m < 1:
+            raise ValueError(f"m must be >= 1, got {self.m}")
+        if self.m > self.region.n:
+            raise ValueError(
+                f"m ({self.m}) exceeds the region length {self.region.n}"
+            )
+        if self.local not in self._LOCALS:
+            raise ValueError(f"local must be one of {self._LOCALS}, got {self.local!r}")
+        if self.order not in (SEQUENTIAL, RANDOM):
+            raise ValueError(f"order must be 'seq' or 'rand', got {self.order!r}")
+        if self.direction not in (UNI, BI):
+            raise ValueError(f"direction must be 'uni' or 'bi', got {self.direction!r}")
+        if self.local == "r_acc" and self.r is None:
+            raise ValueError("a local r_acc nest needs the total access count r")
+
+    @property
+    def is_random(self) -> bool:
+        return self.local != "s_trav" or self.order == RANDOM
+
+    def notation(self) -> str:
+        return (f"nest({self.region.name}, {self.m}, {self.local}, "
+                f"{self.order})")
+
+
+class _Compound(Pattern):
+    """Shared behaviour of ``Seq`` and ``Conc``."""
+
+    _symbol = "?"
+
+    def __init__(self, parts: Iterable[Pattern]) -> None:
+        parts = tuple(parts)
+        if len(parts) < 1:
+            raise ValueError("a compound pattern needs at least one part")
+        for part in parts:
+            if not isinstance(part, Pattern):
+                raise TypeError(f"not a pattern: {part!r}")
+        self.parts = parts
+
+    @classmethod
+    def of(cls, *parts: Pattern) -> "_Compound":
+        """Build, flattening nested compounds of the same kind
+        (both ⊕ and ⊙ are associative; ⊙ is also commutative)."""
+        flat: list[Pattern] = []
+        for part in parts:
+            if type(part) is cls:
+                flat.extend(part.parts)  # type: ignore[attr-defined]
+            else:
+                flat.append(part)
+        return cls(flat)
+
+    def regions(self) -> list[DataRegion]:
+        out: list[DataRegion] = []
+        for part in self.parts:
+            out.extend(part.regions())
+        return out
+
+    def notation(self) -> str:
+        inner = f" {self._symbol} ".join(
+            f"({p.notation()})" if isinstance(p, _Compound) else p.notation()
+            for p in self.parts
+        )
+        return inner
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.parts == other.parts  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.parts))
+
+
+class Seq(_Compound):
+    """Sequential execution ``P1 ⊕ P2 ⊕ ...``: parts run one after the
+    other; later parts may re-use cache contents left by earlier ones
+    (Section 5.1)."""
+
+    _symbol = "⊕"
+
+
+class Conc(_Compound):
+    """Concurrent execution ``P1 ⊙ P2 ⊙ ...``: parts compete for the
+    cache, which the model divides proportionally to the parts'
+    footprints (Section 5.2)."""
+
+    _symbol = "⊙"

@@ -1,0 +1,128 @@
+"""Data regions: the paper's unified description of data structures.
+
+A data region ``R`` (Section 3.1) consists of ``R.n`` data items of width
+``R.w`` bytes; its size is ``||R|| = R.n * R.w``.  A relational table is a
+region whose length is the cardinality and whose width is the tuple size;
+a tree is a region of nodes, a hash table a region of buckets, and so on.
+
+Regions may be *sub-regions* of other regions (``parent``).  Sub-regions
+are how we express quick-sort's recursion (each recursion level operates
+on halves of the level above) and partitioning's output clusters; the
+cache-state rules of Section 5.1 exploit the parent chain: data cached for
+an enclosing region also serves its sub-regions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["DataRegion"]
+
+
+@dataclass(frozen=True)
+class DataRegion:
+    """A region of ``n`` items of ``w`` bytes each.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in pattern renderings and state tracking.
+    n:
+        Number of data items ``R.n`` (must be positive).
+    w:
+        Width of one item ``R.w`` in bytes (must be positive).
+    parent:
+        Enclosing region, if this region is a part of a larger one.
+    """
+
+    name: str
+    n: int
+    w: int
+    parent: "DataRegion | None" = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"region {self.name}: n must be positive, got {self.n}")
+        if self.w <= 0:
+            raise ValueError(f"region {self.name}: w must be positive, got {self.w}")
+        if self.parent is not None and self.size > self.parent.size:
+            raise ValueError(
+                f"region {self.name}: size {self.size} exceeds parent "
+                f"{self.parent.name} size {self.parent.size}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``||R|| = R.n * R.w`` in bytes."""
+        return self.n * self.w
+
+    def lines(self, line_size: int) -> int:
+        """Number of cache lines covered: ``|R|_i = ceil(||R|| / Z_i)``."""
+        if line_size <= 0:
+            raise ValueError("line_size must be positive")
+        return math.ceil(self.size / line_size)
+
+    def items_fitting(self, capacity: int) -> int:
+        """Number of items that fit in a cache: ``||C_i||_R = C_i / R.w``."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        return capacity // self.w
+
+    # ------------------------------------------------------------------
+    def subregion(self, name: str, n: int, w: int | None = None) -> "DataRegion":
+        """A sub-region of this region with ``n`` items of width ``w``.
+
+        ``w`` defaults to this region's item width.  The sub-region's
+        parent pointer is set so the cost model's cache-state rules can
+        recognise containment.
+        """
+        return DataRegion(name=name, n=n, w=self.w if w is None else w, parent=self)
+
+    def halves(self, suffix: str = "") -> "tuple[DataRegion, DataRegion]":
+        """The two (nearly equal) halves of this region, as sub-regions.
+
+        Used by the quick-sort pattern of Section 6.2, whose two cursors
+        concurrently sweep one half each.
+        """
+        left_n = max(1, self.n // 2)
+        right_n = max(1, self.n - left_n)
+        return (
+            self.subregion(f"{self.name}.L{suffix}", left_n),
+            self.subregion(f"{self.name}.R{suffix}", right_n),
+        )
+
+    def split(self, m: int) -> "tuple[DataRegion, ...]":
+        """``m`` equal-sized sub-regions (the paper's nested access setup)."""
+        if m <= 0:
+            raise ValueError("m must be positive")
+        if m > self.n:
+            raise ValueError(f"cannot split {self.n} items into {m} sub-regions")
+        base = self.n // m
+        remainder = self.n % m
+        parts = []
+        for j in range(m):
+            parts.append(self.subregion(f"{self.name}[{j}]", base + (1 if j < remainder else 0)))
+        return tuple(parts)
+
+    # ------------------------------------------------------------------
+    def ancestors(self) -> "list[DataRegion]":
+        """This region followed by its ancestors, innermost first."""
+        chain = [self]
+        node = self.parent
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+    def root(self) -> "DataRegion":
+        """The outermost enclosing region."""
+        return self.ancestors()[-1]
+
+    def is_within(self, other: "DataRegion") -> bool:
+        """Whether ``other`` appears on this region's parent chain."""
+        return any(a is other or a == other for a in self.ancestors())
+
+    def __repr__(self) -> str:
+        return f"DataRegion({self.name}, n={self.n}, w={self.w})"

@@ -1,0 +1,139 @@
+"""Columns and tables over the simulated memory.
+
+The engine is column-oriented in the spirit of Monet (the paper's
+experimentation platform): a :class:`Column` is a contiguous array of
+fixed-width items at a simulated address; every read or write of an item
+is reported to the :class:`~repro.simulator.MemorySystem` before the
+Python-level value is touched, so the simulator observes the operator's
+true access trace.
+
+A column maps 1:1 onto a cost-model :class:`~repro.core.DataRegion`
+(length = cardinality, width = item size), which is how measured and
+predicted costs are connected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.regions import DataRegion
+from ..simulator.memory import MemorySystem
+
+__all__ = ["Column", "Table"]
+
+
+class Column:
+    """A fixed-width column at a simulated address.
+
+    Parameters
+    ----------
+    name:
+        Column identifier (also used for the derived region).
+    width:
+        Item width in bytes (the region's ``R.w``).
+    address:
+        Simulated start address (line/page alignment matters!).
+    values:
+        Backing Python values; the list is owned by the column.
+    """
+
+    __slots__ = ("name", "width", "address", "values")
+
+    def __init__(self, name: str, width: int, address: int,
+                 values: list) -> None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        self.name = name
+        self.width = width
+        self.address = address
+        self.values = values
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def size(self) -> int:
+        """Bytes occupied: ``n * width``."""
+        return self.n * self.width
+
+    def item_address(self, index: int) -> int:
+        return self.address + index * self.width
+
+    def region(self, parent: DataRegion | None = None) -> DataRegion:
+        """The cost-model region describing this column.
+
+        An empty column (a join with no matches) is described as a
+        one-item region — regions are never empty in the paper's model.
+        """
+        return DataRegion(name=self.name, n=max(1, self.n), w=self.width,
+                          parent=parent)
+
+    # ------------------------------------------------------------------
+    def read(self, mem: MemorySystem, index: int, nbytes: int | None = None):
+        """Read item ``index`` (touching ``nbytes`` of it, default all)."""
+        mem.access(self.item_address(index), nbytes or self.width)
+        return self.values[index]
+
+    def write(self, mem: MemorySystem, index: int, value,
+              nbytes: int | None = None) -> None:
+        """Write item ``index``."""
+        mem.access(self.item_address(index), nbytes or self.width, write=True)
+        self.values[index] = value
+
+    def swap(self, mem: MemorySystem, i: int, j: int) -> None:
+        """Swap two items (one read + one write per side)."""
+        width = self.width
+        mem.access(self.item_address(i), width)
+        mem.access(self.item_address(j), width)
+        mem.access(self.item_address(i), width, write=True)
+        mem.access(self.item_address(j), width, write=True)
+        values = self.values
+        values[i], values[j] = values[j], values[i]
+
+    def peek(self, index: int):
+        """Read a value *without* simulating an access (test/debug only)."""
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"Column({self.name}, n={self.n}, w={self.width}, @{self.address})"
+
+
+class Table:
+    """A set of equally long columns (a BAT-style binary table when it
+    has exactly ``head`` and ``tail`` columns)."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        columns = list(columns)
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        cardinality = columns[0].n
+        for col in columns:
+            if col.n != cardinality:
+                raise ValueError(
+                    f"column {col.name} has {col.n} items, expected {cardinality}"
+                )
+        self.name = name
+        self.columns = {col.name: col for col in columns}
+        if len(self.columns) != len(columns):
+            raise ValueError("duplicate column names")
+
+    @property
+    def n(self) -> int:
+        return next(iter(self.columns.values())).n
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"table {self.name} has no column {name!r}") from None
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.columns)
+        return f"Table({self.name}: {cols}; n={self.n})"

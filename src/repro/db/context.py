@@ -1,0 +1,73 @@
+"""Execution context: simulated memory plus address allocation.
+
+A :class:`Database` bundles the pieces every operator needs — the
+hierarchy profile, the trace-driven :class:`MemorySystem`, and the bump
+allocator that places columns in the simulated address space — and offers
+the measurement helpers the experiments use (snapshot deltas around an
+operator run, the software analogue of reading hardware counters).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from ..hardware.hierarchy import MemoryHierarchy
+from ..simulator.counters import CounterSnapshot
+from ..simulator.memory import MemorySystem
+from .allocator import Allocator
+from .column import Column
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A tiny column-oriented main-memory engine instance."""
+
+    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+        self.hierarchy = hierarchy
+        self.mem = MemorySystem(hierarchy)
+        self.allocator = Allocator()
+
+    # ------------------------------------------------------------------
+    def create_column(self, name: str, values: Sequence, width: int = 8,
+                      alignment: int | None = None) -> Column:
+        """Materialise values as a column in simulated memory.
+
+        Creation itself is *not* measured (the experiments measure the
+        operators, not the loader), so no accesses are simulated here.
+        """
+        values = list(values)
+        address = self.allocator.allocate(
+            max(1, len(values)) * width, alignment=alignment
+        )
+        return Column(name=name, width=width, address=address, values=values)
+
+    def allocate_column(self, name: str, n: int, width: int = 8,
+                        fill=0, alignment: int | None = None) -> Column:
+        """Pre-allocate an output column of ``n`` items."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        return self.create_column(name, [fill] * n, width=width, alignment=alignment)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Cold caches and zeroed counters (address space is kept)."""
+        self.mem.reset()
+
+    @contextmanager
+    def measure(self) -> Iterator[list[CounterSnapshot]]:
+        """Measure the counter delta around a block::
+
+            with db.measure() as result:
+                quick_sort(db, column)
+            delta = result[0]
+
+        The yielded list receives exactly one element — the difference of
+        the after/before snapshots — once the block exits.
+        """
+        result: list[CounterSnapshot] = []
+        before = self.mem.snapshot()
+        yield result
+        after = self.mem.snapshot()
+        result.append(after - before)

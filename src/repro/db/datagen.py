@@ -1,0 +1,54 @@
+"""Synthetic workload generation.
+
+The paper's experiments use tables of randomly distributed numerical
+data, with 1:1 key matches for the join workloads.  All generators take
+an explicit seed so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "uniform_ints",
+    "random_permutation",
+    "sorted_ints",
+    "grouped_keys",
+]
+
+
+def uniform_ints(n: int, lo: int = 0, hi: int = 2**31 - 1,
+                 seed: int = 0) -> list[int]:
+    """``n`` uniform integers in ``[lo, hi]``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if hi < lo:
+        raise ValueError("hi must be >= lo")
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(n)]
+
+
+def random_permutation(n: int, seed: int = 0) -> list[int]:
+    """The integers ``0..n-1`` in random order (1:1 join keys)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = random.Random(seed)
+    values = list(range(n))
+    rng.shuffle(values)
+    return values
+
+
+def sorted_ints(n: int, step: int = 1, start: int = 0) -> list[int]:
+    """``n`` sorted integers (merge-join operands)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return list(range(start, start + n * step, step))
+
+
+def grouped_keys(n: int, groups: int, seed: int = 0) -> list[int]:
+    """``n`` keys drawn uniformly from ``groups`` distinct values
+    (aggregation workloads)."""
+    if groups < 1:
+        raise ValueError("groups must be positive")
+    rng = random.Random(seed)
+    return [rng.randrange(groups) for _ in range(n)]

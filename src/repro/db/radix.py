@@ -1,0 +1,119 @@
+"""Multi-pass radix partitioning (the [MBK00a] optimization).
+
+Figure 7d shows single-pass partitioning thrashing once the cluster
+count ``m`` exceeds a level's line/entry count.  The companion work the
+paper builds on (Manegold/Boncz/Kersten, "Optimizing database
+architecture for the new bottleneck") fixes this by clustering in
+*multiple passes*: each pass splits by at most ``fanout`` clusters (kept
+at or below the smallest line/entry count), revisiting its input
+sequentially.  P passes produce ``fanout^P`` clusters while every pass
+stays below every thrashing threshold.
+
+The access pattern of one pass is exactly the Table 2 ``partition``
+pattern; the whole operation is their ``⊕``-sequence, so the cost model
+prices multi-pass vs single-pass clustering with no new machinery —
+bench ``bench_ext_radix.py`` reproduces the crossover where two cheap
+passes beat one thrashing pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.algorithms import partition_pattern
+from ..core.patterns import Pattern, Seq
+from ..core.regions import DataRegion
+from .column import Column
+from .context import Database
+from .partition import Partitions, partition
+
+__all__ = [
+    "radix_bits",
+    "radix_partition",
+    "radix_partition_pattern",
+    "recommended_fanout",
+]
+
+
+def radix_bits(m: int) -> int:
+    """Number of key bits needed to address ``m`` clusters."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    return max(1, math.ceil(math.log2(m)))
+
+
+def recommended_fanout(hierarchy) -> int:
+    """Largest per-pass fanout that avoids thrashing every level:
+    the smallest line/entry count in the hierarchy (Figure 7d's rule)."""
+    return max(2, min(level.num_lines for level in hierarchy.all_levels))
+
+
+def radix_partition(db: Database, col: Column, m: int,
+                    fanout: int | None = None,
+                    output_name: str | None = None) -> Partitions:
+    """Partition ``col`` into ``m`` clusters in several bounded passes.
+
+    Each pass re-clusters every current cluster by at most ``fanout``
+    ways; ``fanout`` defaults to the machine-derived recommendation.
+    The clustering is hierarchical (pass p refines pass p-1), so two
+    operands radix-partitioned with the same parameters get matching
+    clusters — which is what partitioned joins need.  Keys are assumed
+    roughly uniform (clusters must stay non-empty so both operands
+    refine to the same cluster count).
+    """
+    if m < 1:
+        raise ValueError("m must be positive")
+    if m > col.n:
+        raise ValueError("more partitions than items")
+    fanout = fanout or recommended_fanout(db.hierarchy)
+    if fanout < 2:
+        raise ValueError("fanout must be at least 2")
+    name = output_name or f"RP({col.name})"
+
+    # Pass p consumes its own digit of the hash value, so the passes
+    # compose into a single m-way clustering.
+    def digit_key(pass_index: int, ways: int):
+        shift = 8 * pass_index  # 8 hash bits per pass (fanout <= 256)
+        def key(value: int, m_ways: int, _shift=shift) -> int:
+            return ((value * 0x9E3779B97F4A7C15) >> (16 + _shift)) % m_ways
+        return key
+
+    if fanout > 256:
+        fanout = 256
+    passes = max(1, math.ceil(math.log(m, fanout)))
+    current = [col]
+    remaining = m
+    for p in range(passes):
+        ways = min(fanout, remaining)
+        refined: list[Column] = []
+        for j, cluster in enumerate(current):
+            if cluster.n < ways:
+                raise RuntimeError(
+                    f"pass {p}: cluster {j} holds only {cluster.n} items; "
+                    f"radix partitioning needs roughly uniform keys"
+                )
+            step = partition(db, cluster, ways,
+                             output_name=f"{name}.p{p}[{j}]",
+                             key_func=digit_key(p, ways))
+            refined.extend(step.clusters)
+        current = refined
+        remaining = math.ceil(remaining / ways)
+    region = DataRegion(name=name, n=max(1, sum(c.n for c in current)),
+                        w=col.width)
+    return Partitions(source_name=col.name, clusters=current, region=region)
+
+
+def radix_partition_pattern(U: DataRegion, m: int, fanout: int) -> Pattern:
+    """The multi-pass pattern: one Table 2 ``partition`` pattern per
+    pass, ``⊕``-combined; pass p reads the previous pass's output."""
+    if fanout < 2:
+        raise ValueError("fanout must be at least 2")
+    passes = max(1, math.ceil(math.log(max(2, m), fanout)))
+    parts: list[Pattern] = []
+    source = U
+    for p in range(passes):
+        ways = min(fanout, m)
+        target = DataRegion(f"{U.name}.pass{p}", n=U.n, w=U.w)
+        parts.append(partition_pattern(source, target, ways))
+        source = target
+    return Seq.of(*parts)

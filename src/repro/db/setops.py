@@ -1,0 +1,94 @@
+"""Set operations (union, intersection, difference) on sorted inputs.
+
+The paper states the treatment of union, intersection and set-difference
+derives from the join discussion; on sorted operands all three are merge
+variants — three concurrent sequential cursors, like merge join.
+Duplicate inputs are handled with set semantics (each distinct value
+appears at most once in the result).
+"""
+
+from __future__ import annotations
+
+from .column import Column
+from .context import Database
+
+__all__ = ["merge_union", "merge_intersect", "merge_difference"]
+
+
+def _output(db: Database, name: str, capacity: int, width: int) -> Column:
+    return db.allocate_column(name, n=max(1, capacity), width=width)
+
+
+def _emit(mem, out: Column, count: int, value) -> int:
+    if count >= len(out.values):
+        raise RuntimeError("set-operation output capacity exceeded")
+    out.write(mem, count, value)
+    return count + 1
+
+
+def _trim(col: Column, count: int) -> Column:
+    col.values = col.values[:count]
+    return col
+
+
+def merge_union(db: Database, left: Column, right: Column,
+                output_name: str = "union") -> Column:
+    """Sorted union with duplicate elimination."""
+    mem = db.mem
+    out = _output(db, output_name, left.n + right.n, left.width)
+    i = j = count = 0
+    last = object()
+    while i < left.n or j < right.n:
+        if j >= right.n or (i < left.n and left.read(mem, i) <= right.peek(j)):
+            value = left.values[i]
+            i += 1
+        else:
+            value = right.read(mem, j)
+            j += 1
+        if value != last:
+            count = _emit(mem, out, count, value)
+            last = value
+    return _trim(out, count)
+
+
+def merge_intersect(db: Database, left: Column, right: Column,
+                    output_name: str = "isect") -> Column:
+    """Sorted intersection (distinct values present in both inputs)."""
+    mem = db.mem
+    out = _output(db, output_name, min(left.n, right.n), left.width)
+    i = j = count = 0
+    last = object()
+    while i < left.n and j < right.n:
+        lv = left.read(mem, i)
+        rv = right.read(mem, j)
+        if lv < rv:
+            i += 1
+        elif lv > rv:
+            j += 1
+        else:
+            if lv != last:
+                count = _emit(mem, out, count, lv)
+                last = lv
+            i += 1
+            j += 1
+    return _trim(out, count)
+
+
+def merge_difference(db: Database, left: Column, right: Column,
+                     output_name: str = "diff") -> Column:
+    """Sorted difference (distinct left values absent from the right)."""
+    mem = db.mem
+    out = _output(db, output_name, left.n, left.width)
+    i = j = count = 0
+    last = object()
+    while i < left.n:
+        lv = left.read(mem, i)
+        while j < right.n and right.read(mem, j) < lv:
+            j += 1
+        if (j >= right.n or right.peek(j) != lv) and lv != last:
+            count = _emit(mem, out, count, lv)
+            last = lv
+        if j < right.n and right.peek(j) == lv:
+            last = lv
+        i += 1
+    return _trim(out, count)

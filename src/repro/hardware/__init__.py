@@ -1,0 +1,32 @@
+"""Unified hardware model (paper Section 2): cache levels and hierarchies."""
+
+from .cache_level import FULLY_ASSOCIATIVE, CacheLevel
+from .hierarchy import MemoryHierarchy
+from .profiles import (
+    disk_extended,
+    modern_x86,
+    origin2000,
+    origin2000_scaled,
+    tiny_test_machine,
+)
+from .serialization import (
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    load_hierarchy,
+    save_hierarchy,
+)
+
+__all__ = [
+    "CacheLevel",
+    "FULLY_ASSOCIATIVE",
+    "MemoryHierarchy",
+    "origin2000",
+    "origin2000_scaled",
+    "modern_x86",
+    "disk_extended",
+    "tiny_test_machine",
+    "hierarchy_to_dict",
+    "hierarchy_from_dict",
+    "save_hierarchy",
+    "load_hierarchy",
+]

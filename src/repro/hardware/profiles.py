@@ -1,0 +1,238 @@
+"""Machine profiles for the unified hardware model.
+
+:func:`origin2000` is the exact machine of paper Table 3 (SGI Origin2000,
+MIPS R10000 @ 250 MHz) and is used for *model-only* cost evaluation at the
+paper's original scale.
+
+:func:`origin2000_scaled` shrinks every capacity by a constant factor while
+keeping line sizes, page size ratios and latencies; it is the profile the
+trace-driven simulator executes against (simulating 128 MB traversals
+event-by-event in Python is infeasible, and all of the paper's crossovers
+depend only on capacity *ratios* — see DESIGN.md, "Substitutions").
+
+:func:`modern_x86` is a three-level profile for examples, and
+:func:`disk_extended` exercises the paper's Section 7 claim that main
+memory can be viewed as a cache for disk I/O by appending a buffer-pool
+level with seek-dominated random latency.
+"""
+
+from __future__ import annotations
+
+from .cache_level import CacheLevel
+from .hierarchy import MemoryHierarchy
+
+__all__ = [
+    "origin2000",
+    "origin2000_scaled",
+    "modern_x86",
+    "disk_extended",
+    "tiny_test_machine",
+]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+def origin2000() -> MemoryHierarchy:
+    """The SGI Origin2000 of paper Table 3.
+
+    L1: 32 KB, 32 B lines; L2: 4 MB, 128 B lines; TLB: 64 entries of 16 KB
+    pages (1 MB virtual capacity).  Sequential / random miss latencies are
+    the calibrated values of Table 3 (8/24 ns for L1 misses, 188/400 ns for
+    L2 misses, 228 ns for TLB misses).
+    """
+    return MemoryHierarchy(
+        name="SGI Origin2000",
+        levels=(
+            CacheLevel(
+                name="L1",
+                capacity=32 * KB,
+                line_size=32,
+                associativity=2,
+                seq_miss_latency_ns=8.0,
+                rand_miss_latency_ns=24.0,
+            ),
+            CacheLevel(
+                name="L2",
+                capacity=4 * MB,
+                line_size=128,
+                associativity=2,
+                seq_miss_latency_ns=188.0,
+                rand_miss_latency_ns=400.0,
+            ),
+        ),
+        tlbs=(
+            CacheLevel(
+                name="TLB",
+                capacity=64 * 16 * KB,  # 64 entries x 16 KB pages = 1 MB
+                line_size=16 * KB,
+                associativity=0,  # fully associative
+                seq_miss_latency_ns=228.0,
+                rand_miss_latency_ns=228.0,
+                is_tlb=True,
+            ),
+        ),
+        cpu_speed_mhz=250.0,
+    )
+
+
+def origin2000_scaled() -> MemoryHierarchy:
+    """Origin2000 with capacities shrunk for trace-driven simulation.
+
+    Capacities are divided by 64 for the data caches; the TLB keeps 8
+    entries of 4 KB pages so that, as on the real machine, the TLB's
+    virtual capacity sits between L1 and L2 (2 KB < 32 KB < 64 KB, mirroring
+    32 KB < 1 MB < 4 MB).  Line sizes and latencies are unchanged, so miss
+    counts and times keep the paper's shapes at 1/64 the working-set size.
+    """
+    return MemoryHierarchy(
+        name="SGI Origin2000 (scaled 1/64)",
+        levels=(
+            CacheLevel(
+                name="L1",
+                capacity=2 * KB,  # 64 lines
+                line_size=32,
+                associativity=2,
+                seq_miss_latency_ns=8.0,
+                rand_miss_latency_ns=24.0,
+            ),
+            CacheLevel(
+                name="L2",
+                capacity=64 * KB,  # 512 lines
+                line_size=128,
+                associativity=2,
+                seq_miss_latency_ns=188.0,
+                rand_miss_latency_ns=400.0,
+            ),
+        ),
+        tlbs=(
+            CacheLevel(
+                name="TLB",
+                capacity=8 * 4 * KB,  # 8 entries x 4 KB pages = 32 KB
+                line_size=4 * KB,
+                associativity=0,
+                seq_miss_latency_ns=228.0,
+                rand_miss_latency_ns=228.0,
+                is_tlb=True,
+            ),
+        ),
+        cpu_speed_mhz=250.0,
+    )
+
+
+def modern_x86() -> MemoryHierarchy:
+    """A contemporary three-level x86 server profile (model-only examples)."""
+    return MemoryHierarchy(
+        name="modern x86 server",
+        levels=(
+            CacheLevel(
+                name="L1",
+                capacity=32 * KB,
+                line_size=64,
+                associativity=8,
+                seq_miss_latency_ns=3.0,
+                rand_miss_latency_ns=5.0,
+            ),
+            CacheLevel(
+                name="L2",
+                capacity=1 * MB,
+                line_size=64,
+                associativity=8,
+                seq_miss_latency_ns=10.0,
+                rand_miss_latency_ns=14.0,
+            ),
+            CacheLevel(
+                name="L3",
+                capacity=32 * MB,
+                line_size=64,
+                associativity=16,
+                seq_miss_latency_ns=30.0,
+                rand_miss_latency_ns=90.0,
+            ),
+        ),
+        tlbs=(
+            CacheLevel(
+                name="dTLB",
+                capacity=64 * 4 * KB,
+                line_size=4 * KB,
+                associativity=0,
+                seq_miss_latency_ns=25.0,
+                rand_miss_latency_ns=25.0,
+                is_tlb=True,
+            ),
+        ),
+        cpu_speed_mhz=3000.0,
+    )
+
+
+def disk_extended(base: MemoryHierarchy | None = None,
+                  buffer_pool_bytes: int = 1 * GB,
+                  page_size: int = 8 * KB,
+                  seq_page_latency_us: float = 40.0,
+                  rand_page_latency_ms: float = 5.0) -> MemoryHierarchy:
+    """Append a buffer-pool/disk level to a hierarchy (paper Section 7).
+
+    The paper argues that viewing main memory (the DBMS buffer pool) as a
+    cache for disk pages folds I/O cost models into the same framework: the
+    buffer pool becomes one more :class:`CacheLevel` whose line size is the
+    disk page size, whose sequential miss latency is page transfer time and
+    whose random miss latency additionally carries the seek.
+    """
+    base = base or modern_x86()
+    disk_level = CacheLevel(
+        name="BufferPool",
+        capacity=buffer_pool_bytes,
+        line_size=page_size,
+        associativity=0,
+        seq_miss_latency_ns=seq_page_latency_us * 1e3,
+        rand_miss_latency_ns=rand_page_latency_ms * 1e6,
+    )
+    return MemoryHierarchy(
+        name=base.name + " + disk",
+        levels=base.levels + (disk_level,),
+        tlbs=base.tlbs,
+        cpu_speed_mhz=base.cpu_speed_mhz,
+    )
+
+
+def tiny_test_machine() -> MemoryHierarchy:
+    """A deliberately tiny two-level machine for fast unit tests.
+
+    L1: 256 B with 16 B lines (16 lines); L2: 1 KB with 32 B lines
+    (32 lines); TLB: 4 entries of 128 B pages.  Small enough that tests can
+    enumerate expected behaviour by hand.
+    """
+    return MemoryHierarchy(
+        name="tiny test machine",
+        levels=(
+            CacheLevel(
+                name="L1",
+                capacity=256,
+                line_size=16,
+                associativity=2,
+                seq_miss_latency_ns=2.0,
+                rand_miss_latency_ns=6.0,
+            ),
+            CacheLevel(
+                name="L2",
+                capacity=1024,
+                line_size=32,
+                associativity=2,
+                seq_miss_latency_ns=20.0,
+                rand_miss_latency_ns=50.0,
+            ),
+        ),
+        tlbs=(
+            CacheLevel(
+                name="TLB",
+                capacity=4 * 128,
+                line_size=128,
+                associativity=0,
+                seq_miss_latency_ns=30.0,
+                rand_miss_latency_ns=30.0,
+                is_tlb=True,
+            ),
+        ),
+        cpu_speed_mhz=100.0,
+    )

@@ -1,0 +1,88 @@
+"""Loading and saving machine profiles.
+
+The paper's workflow instantiates the model per machine from calibrated
+parameters; persisting profiles as JSON lets a calibration run on one
+machine drive cost estimation anywhere.  The schema mirrors Table 1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .cache_level import CacheLevel
+from .hierarchy import MemoryHierarchy
+
+__all__ = [
+    "hierarchy_to_dict",
+    "hierarchy_from_dict",
+    "save_hierarchy",
+    "load_hierarchy",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def _level_to_dict(level: CacheLevel) -> dict:
+    return {
+        "name": level.name,
+        "capacity": level.capacity,
+        "line_size": level.line_size,
+        "associativity": level.associativity,
+        "seq_miss_latency_ns": level.seq_miss_latency_ns,
+        "rand_miss_latency_ns": level.rand_miss_latency_ns,
+        "is_tlb": level.is_tlb,
+    }
+
+
+def _level_from_dict(data: dict) -> CacheLevel:
+    try:
+        return CacheLevel(
+            name=data["name"],
+            capacity=int(data["capacity"]),
+            line_size=int(data["line_size"]),
+            associativity=int(data.get("associativity", 0)),
+            seq_miss_latency_ns=float(data["seq_miss_latency_ns"]),
+            rand_miss_latency_ns=float(data["rand_miss_latency_ns"]),
+            is_tlb=bool(data.get("is_tlb", False)),
+        )
+    except KeyError as missing:
+        raise ValueError(f"cache level entry missing field {missing}") from None
+
+
+def hierarchy_to_dict(hierarchy: MemoryHierarchy) -> dict:
+    """A JSON-ready description of a machine profile."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "name": hierarchy.name,
+        "cpu_speed_mhz": hierarchy.cpu_speed_mhz,
+        "levels": [_level_to_dict(l) for l in hierarchy.levels],
+        "tlbs": [_level_to_dict(t) for t in hierarchy.tlbs],
+    }
+
+
+def hierarchy_from_dict(data: dict) -> MemoryHierarchy:
+    """Rebuild a profile (validating all Table 1 constraints)."""
+    version = data.get("schema_version", _SCHEMA_VERSION)
+    if version != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported profile schema version {version}")
+    if "levels" not in data or not data["levels"]:
+        raise ValueError("profile has no cache levels")
+    return MemoryHierarchy(
+        name=data.get("name", "unnamed machine"),
+        levels=tuple(_level_from_dict(l) for l in data["levels"]),
+        tlbs=tuple(_level_from_dict(t) for t in data.get("tlbs", [])),
+        cpu_speed_mhz=float(data.get("cpu_speed_mhz", 1000.0)),
+    )
+
+
+def save_hierarchy(hierarchy: MemoryHierarchy, path: str | Path) -> None:
+    """Write a profile to a JSON file."""
+    Path(path).write_text(
+        json.dumps(hierarchy_to_dict(hierarchy), indent=2) + "\n"
+    )
+
+
+def load_hierarchy(path: str | Path) -> MemoryHierarchy:
+    """Read a profile from a JSON file."""
+    return hierarchy_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,5 @@
+"""Cost-based algorithm selection built on the derived cost functions."""
+
+from .advisor import CPU_CYCLES_PER_ITEM, JoinAdvisor, JoinChoice
+
+__all__ = ["JoinAdvisor", "JoinChoice", "CPU_CYCLES_PER_ITEM"]

@@ -1,0 +1,156 @@
+"""Cost-based algorithm selection (the paper's motivating use-case).
+
+"The query optimizer uses this information to choose the most suitable
+algorithm and/or implementation for each operator" (Section 1).  The
+advisor enumerates the implementations of an operator, derives each one's
+cost with the automatically combined cost functions, and returns the
+ranking.  The logical component (cardinalities) is assumed perfect, as in
+the paper ("we assume a perfect oracle to predict the data volumes").
+
+Pure CPU cost is modelled per algorithm as calibrated
+cycles-per-item constants (Eq. 6.1); the defaults are deliberately
+coarse — the interesting crossovers are driven by the memory term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.algorithms import (
+    hash_join_pattern,
+    hash_table_region,
+    merge_join_pattern,
+    nested_loop_join_pattern,
+    partition_pattern,
+    partitioned_hash_join_pattern,
+    quick_sort_pattern,
+)
+from ..core.cost import CostEstimate, CostModel
+from ..core.regions import DataRegion
+from ..hardware.hierarchy import MemoryHierarchy
+
+__all__ = ["JoinChoice", "JoinAdvisor", "CPU_CYCLES_PER_ITEM"]
+
+#: Calibrated pure-CPU cost constants (cycles per processed item).
+CPU_CYCLES_PER_ITEM = {
+    "merge_join": 8.0,
+    "hash_join": 30.0,
+    "partitioned_hash_join": 40.0,
+    "nested_loop_join": 4.0,   # per inner comparison
+    "sort": 12.0,              # per item per recursion level
+}
+
+
+@dataclass(frozen=True)
+class JoinChoice:
+    """One scored join implementation."""
+
+    algorithm: str
+    estimate: CostEstimate
+
+    @property
+    def total_ns(self) -> float:
+        return self.estimate.total_ns
+
+
+class JoinAdvisor:
+    """Scores join implementations with the cost model.
+
+    Parameters
+    ----------
+    hierarchy:
+        Machine profile used for cost derivation.
+    inputs_sorted:
+        Whether both operands are already sorted.  If not, merge join is
+        charged two quick-sorts in addition to the merge.
+    """
+
+    def __init__(self, hierarchy: MemoryHierarchy,
+                 inputs_sorted: bool = False) -> None:
+        self.hierarchy = hierarchy
+        self.model = CostModel(hierarchy)
+        self.inputs_sorted = inputs_sorted
+        self._min_capacity = min(l.capacity for l in hierarchy.all_levels)
+
+    # ------------------------------------------------------------------
+    def _cycles_ns(self, cycles: float) -> float:
+        return self.hierarchy.nanoseconds(cycles)
+
+    def merge_join_choice(self, U: DataRegion, V: DataRegion,
+                          W: DataRegion) -> JoinChoice:
+        pattern = merge_join_pattern(U, V, W)
+        cpu = self._cycles_ns(CPU_CYCLES_PER_ITEM["merge_join"] * (U.n + V.n))
+        if not self.inputs_sorted:
+            pattern = (quick_sort_pattern(U, self._min_capacity)
+                       + quick_sort_pattern(V, self._min_capacity)
+                       + pattern)
+            depth = math.ceil(math.log2(max(2, max(U.n, V.n))))
+            cpu += self._cycles_ns(
+                CPU_CYCLES_PER_ITEM["sort"] * (U.n + V.n) * depth
+            )
+        return JoinChoice("merge_join", self.model.estimate(pattern, cpu_ns=cpu))
+
+    def hash_join_choice(self, U: DataRegion, V: DataRegion,
+                         W: DataRegion) -> JoinChoice:
+        pattern = hash_join_pattern(U, V, W)
+        cpu = self._cycles_ns(CPU_CYCLES_PER_ITEM["hash_join"] * (U.n + V.n))
+        return JoinChoice("hash_join", self.model.estimate(pattern, cpu_ns=cpu))
+
+    def partitioned_hash_join_choice(self, U: DataRegion, V: DataRegion,
+                                     W: DataRegion,
+                                     m: int | None = None) -> JoinChoice:
+        m = m or self.recommend_partitions(V)
+        out_U = DataRegion(f"P({U.name})", n=U.n, w=U.w)
+        out_V = DataRegion(f"P({V.name})", n=V.n, w=V.w)
+        pattern = (partition_pattern(U, out_U, m)
+                   + partition_pattern(V, out_V, m)
+                   + partitioned_hash_join_pattern(
+                       out_U.split(m), out_V.split(m), W.split(m)))
+        cpu = self._cycles_ns(
+            CPU_CYCLES_PER_ITEM["partitioned_hash_join"] * (U.n + V.n)
+        )
+        return JoinChoice("partitioned_hash_join",
+                          self.model.estimate(pattern, cpu_ns=cpu))
+
+    def nested_loop_join_choice(self, U: DataRegion, V: DataRegion,
+                                W: DataRegion) -> JoinChoice:
+        pattern = nested_loop_join_pattern(U, V, W)
+        cpu = self._cycles_ns(
+            CPU_CYCLES_PER_ITEM["nested_loop_join"] * U.n * V.n
+        )
+        return JoinChoice("nested_loop_join",
+                          self.model.estimate(pattern, cpu_ns=cpu))
+
+    # ------------------------------------------------------------------
+    def recommend_partitions(self, V: DataRegion,
+                             target_level: str | None = None) -> int:
+        """Smallest partition count that makes each per-partition hash
+        table cache-resident (the paper's partitioned-hash-join design
+        rule), bounded by the number of cache lines so partitioning
+        itself stays cheap (Figure 7d's constraint)."""
+        levels = self.hierarchy.levels
+        level = levels[-1] if target_level is None else self.hierarchy.level(target_level)
+        table_bytes = hash_table_region(V).size
+        m = 1
+        while table_bytes / m > level.capacity:
+            m *= 2
+        max_m = max(1, min(lvl.num_lines for lvl in self.hierarchy.all_levels))
+        return min(m, max_m)
+
+    def rank(self, U: DataRegion, V: DataRegion, W: DataRegion,
+             include_nested_loop: bool = False) -> list[JoinChoice]:
+        """All candidate implementations, cheapest first."""
+        choices = [
+            self.merge_join_choice(U, V, W),
+            self.hash_join_choice(U, V, W),
+            self.partitioned_hash_join_choice(U, V, W),
+        ]
+        if include_nested_loop:
+            choices.append(self.nested_loop_join_choice(U, V, W))
+        return sorted(choices, key=lambda c: c.total_ns)
+
+    def best(self, U: DataRegion, V: DataRegion, W: DataRegion,
+             include_nested_loop: bool = False) -> JoinChoice:
+        """The cheapest implementation."""
+        return self.rank(U, V, W, include_nested_loop)[0]

@@ -1,0 +1,24 @@
+"""Whole-query composition: physical plans whose cost functions are the
+⊕-combination of their operators' patterns (paper Section 6)."""
+
+from .plan import (
+    AggregateNode,
+    HashJoinNode,
+    MergeJoinNode,
+    PlanNode,
+    QueryPlan,
+    ScanNode,
+    SelectNode,
+    SortNode,
+)
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "SelectNode",
+    "SortNode",
+    "MergeJoinNode",
+    "HashJoinNode",
+    "AggregateNode",
+    "QueryPlan",
+]

@@ -1,0 +1,79 @@
+"""Counter snapshots for simulator measurements.
+
+A :class:`CounterSnapshot` freezes the per-level miss counters and the
+accumulated memory-access time of a :class:`~repro.simulator.MemorySystem`
+so experiments can measure deltas around an operator execution — the
+software analogue of reading hardware event counters before and after a
+run, as the paper does on the R10000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LevelCounters", "CounterSnapshot"]
+
+
+@dataclass(frozen=True)
+class LevelCounters:
+    """Hit/miss counters of one cache level."""
+
+    name: str
+    hits: int
+    seq_misses: int
+    rand_misses: int
+
+    @property
+    def misses(self) -> int:
+        return self.seq_misses + self.rand_misses
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def __sub__(self, other: "LevelCounters") -> "LevelCounters":
+        if self.name != other.name:
+            raise ValueError(f"level mismatch: {self.name} vs {other.name}")
+        return LevelCounters(
+            name=self.name,
+            hits=self.hits - other.hits,
+            seq_misses=self.seq_misses - other.seq_misses,
+            rand_misses=self.rand_misses - other.rand_misses,
+        )
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """All level counters plus elapsed simulated time at one instant."""
+
+    levels: tuple[LevelCounters, ...]
+    elapsed_ns: float
+    accesses: int
+
+    def __sub__(self, other: "CounterSnapshot") -> "CounterSnapshot":
+        return CounterSnapshot(
+            levels=tuple(a - b for a, b in zip(self.levels, other.levels)),
+            elapsed_ns=self.elapsed_ns - other.elapsed_ns,
+            accesses=self.accesses - other.accesses,
+        )
+
+    def level(self, name: str) -> LevelCounters:
+        for lvl in self.levels:
+            if lvl.name == name:
+                return lvl
+        raise KeyError(f"no level named {name!r}")
+
+    def misses(self, name: str) -> int:
+        """Total misses of the named level."""
+        return self.level(name).misses
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Counters as plain nested dicts (reporting convenience)."""
+        return {
+            lvl.name: {
+                "hits": lvl.hits,
+                "seq_misses": lvl.seq_misses,
+                "rand_misses": lvl.rand_misses,
+            }
+            for lvl in self.levels
+        }

@@ -1,0 +1,152 @@
+"""Multi-level memory-system simulation.
+
+:class:`MemorySystem` cascades :class:`~repro.simulator.cache.CacheSim`
+instances for every data-cache level of a hierarchy and probes the TLB
+levels in parallel, exactly mirroring the paper's unified hardware model:
+
+* an access spans one or more L1 lines; every spanned L1 line is probed;
+* a line that misses on level ``i`` is forwarded to level ``i+1`` (probing
+  the containing level-``i+1`` line there), and so on — a miss on the last
+  level is an access to main memory;
+* every page spanned by the access is probed in each TLB;
+* each miss on level ``i`` adds that level's sequential or random miss
+  latency to the elapsed-time account (Eq. 3.1 evaluated exactly, event
+  by event).
+
+The simulator is the reproduction's stand-in for hardware performance
+counters (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..hardware.hierarchy import MemoryHierarchy
+from .cache import HIT, RAND_MISS, CacheSim
+from .counters import CounterSnapshot, LevelCounters
+
+__all__ = ["MemorySystem"]
+
+
+class MemorySystem:
+    """Trace-driven simulation of a full memory hierarchy.
+
+    Parameters
+    ----------
+    hierarchy:
+        The machine to simulate.  Every level of
+        ``hierarchy.all_levels`` gets its own :class:`CacheSim`.
+    """
+
+    __slots__ = ("hierarchy", "caches", "tlbs", "elapsed_ns", "accesses",
+                 "_l1_line", "_level_chain")
+
+    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+        self.hierarchy = hierarchy
+        self.caches = tuple(CacheSim(lvl) for lvl in hierarchy.levels)
+        self.tlbs = tuple(CacheSim(lvl) for lvl in hierarchy.tlbs)
+        self.elapsed_ns = 0.0
+        self.accesses = 0
+        self._l1_line = hierarchy.levels[0].line_size
+        # (cache, line_size, seq_latency, rand_latency) per data level,
+        # pre-extracted for the hot loop.
+        self._level_chain = tuple(
+            (sim, lvl.line_size, lvl.seq_miss_latency_ns, lvl.rand_miss_latency_ns)
+            for sim, lvl in zip(self.caches, hierarchy.levels)
+        )
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int, nbytes: int = 1, write: bool = False) -> None:
+        """Simulate one memory access to ``[addr, addr + nbytes)``.
+
+        ``write`` is accepted for API clarity but reads and writes are
+        costed identically (the paper does not distinguish read and write
+        bandwidth, Section 2.2).
+        """
+        if addr < 0:
+            raise ValueError("negative address")
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        self.accesses += 1
+        elapsed = 0.0
+
+        # TLB probes: one per page spanned, per TLB level.
+        for tlb in self.tlbs:
+            page_size = tlb._line_size
+            first = addr // page_size
+            last = (addr + nbytes - 1) // page_size
+            for page in range(first, last + 1):
+                if tlb.probe(page) != HIT:
+                    elapsed += tlb.level.rand_miss_latency_ns
+
+        # Data caches: probe every spanned L1 line, cascade misses outwards.
+        chain = self._level_chain
+        l1 = self._l1_line
+        first = addr // l1
+        last = (addr + nbytes - 1) // l1
+        pending = range(first, last + 1)  # line addrs at L1 granularity
+        byte_addrs = None
+        for depth, (sim, line_size, seq_lat, rand_lat) in enumerate(chain):
+            if depth == 0:
+                lines = pending
+            else:
+                # Translate missed lines of the previous level into this
+                # level's (deduplicated, order-preserving) line addresses.
+                prev_line_size = chain[depth - 1][1]
+                ratio = line_size // prev_line_size
+                lines = []
+                seen_last = -1
+                for ln in pending:
+                    cur = ln // ratio
+                    if cur != seen_last:
+                        lines.append(cur)
+                        seen_last = cur
+            missed = []
+            for ln in lines:
+                outcome = sim.probe(ln)
+                if outcome != HIT:
+                    missed.append(ln)
+                    if outcome == RAND_MISS:
+                        elapsed += rand_lat
+                    else:
+                        elapsed += seq_lat
+            if not missed:
+                break
+            pending = missed
+
+        self.elapsed_ns += elapsed
+
+    def read(self, addr: int, nbytes: int = 1) -> None:
+        """Convenience alias for a read access."""
+        self.access(addr, nbytes, write=False)
+
+    def write(self, addr: int, nbytes: int = 1) -> None:
+        """Convenience alias for a write access."""
+        self.access(addr, nbytes, write=True)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Cold caches and zeroed counters."""
+        for sim in self.caches + self.tlbs:
+            sim.reset()
+        self.elapsed_ns = 0.0
+        self.accesses = 0
+
+    def snapshot(self) -> CounterSnapshot:
+        """Freeze all counters (subtract two snapshots to measure a span)."""
+        return CounterSnapshot(
+            levels=tuple(
+                LevelCounters(sim.name, sim.hits, sim.seq_misses, sim.rand_misses)
+                for sim in self.caches + self.tlbs
+            ),
+            elapsed_ns=self.elapsed_ns,
+            accesses=self.accesses,
+        )
+
+    def cache(self, name: str) -> CacheSim:
+        """Look up a level simulator by name."""
+        for sim in self.caches + self.tlbs:
+            if sim.name == name:
+                return sim
+        raise KeyError(f"no simulated level named {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MemorySystem({self.hierarchy.name}, {self.accesses} accesses)"

@@ -1,0 +1,30 @@
+"""Model-vs-measurement experiment harness (paper Section 6)."""
+
+from .cpu_cost import CpuCostModel, calibrate_cpu_cost
+from .microbench import figure5, figure6, measure_traversal
+from .plotting import ascii_plot
+from .operators import (
+    figure7a_quicksort,
+    figure7b_mergejoin,
+    figure7c_hashjoin,
+    figure7d_partition,
+    figure7e_partitioned_hashjoin,
+)
+from .reporting import ExperimentResult, ExperimentRow, geometric_mean_ratio
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRow",
+    "geometric_mean_ratio",
+    "measure_traversal",
+    "figure5",
+    "figure6",
+    "figure7a_quicksort",
+    "figure7b_mergejoin",
+    "figure7c_hashjoin",
+    "figure7d_partition",
+    "figure7e_partitioned_hashjoin",
+    "CpuCostModel",
+    "calibrate_cpu_cost",
+    "ascii_plot",
+]

@@ -1,0 +1,76 @@
+"""ASCII log-scale plots of experiment series.
+
+The paper's figures are log-log plots of measured points against
+predicted lines.  For terminal-friendly reproduction output, this
+module renders an :class:`~repro.validation.ExperimentResult` as an
+ASCII chart: ``o`` marks measured values, ``-`` predicted values, ``*``
+where they coincide at character resolution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .reporting import ExperimentResult
+
+__all__ = ["ascii_plot"]
+
+
+def ascii_plot(result: ExperimentResult, key: str,
+               height: int = 16, log: bool = True) -> str:
+    """Plot one series (e.g. ``"L2"`` or ``"time_us"``) of an experiment.
+
+    X axis: the experiment's rows in order; Y axis: misses/time,
+    log-scaled by default (like the paper's figures).
+    """
+    rows = [r for r in result.rows
+            if key in r.measured or key in r.predicted]
+    if not rows:
+        raise ValueError(f"series {key!r} not present in {result.experiment_id}")
+
+    def transform(value: float) -> float:
+        if not log:
+            return value
+        return math.log10(max(value, 0.1))
+
+    measured = [transform(r.measured.get(key, 0.0)) for r in rows]
+    predicted = [transform(r.predicted.get(key, 0.0)) for r in rows]
+    low = min(measured + predicted)
+    high = max(measured + predicted)
+    span = (high - low) or 1.0
+
+    def row_of(value: float) -> int:
+        return round((value - low) / span * (height - 1))
+
+    # Canvas: one column per x point (3 chars wide for readability).
+    width = len(rows)
+    canvas = [[" "] * width for _ in range(height)]
+    for x, (m, p) in enumerate(zip(measured, predicted)):
+        pm, pp = row_of(m), row_of(p)
+        canvas[pp][x] = "-"
+        canvas[pm][x] = "*" if pm == pp else "o"
+
+    lines = [f"{result.experiment_id} / {key}   "
+             f"(o = measured, - = predicted, * = both; "
+             f"{'log10' if log else 'linear'} scale)"]
+    for y in range(height - 1, -1, -1):
+        label = low + span * y / (height - 1)
+        value = 10 ** label if log else label
+        lines.append(f"{_fmt(value):>9} |" + "  ".join(canvas[y]))
+    lines.append(" " * 9 + " +" + "-" * (3 * width))
+    lines.append(" " * 11 + "  ".join(_short(r.x_label) for r in rows))
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.0f}k"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.1f}"
+
+
+def _short(label: str) -> str:
+    return label.split(" ")[0][:5].ljust(5)[:1]

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.hardware import (
+    origin2000,
+    origin2000_scaled,
+    tiny_test_machine,
+)
+
+
+@pytest.fixture
+def tiny():
+    """A hand-checkable two-level machine (L1 256B/16B, L2 1KB/32B,
+    TLB 4x128B)."""
+    return tiny_test_machine()
+
+
+@pytest.fixture
+def scaled():
+    """The scaled Origin2000 used by the simulator experiments."""
+    return origin2000_scaled()
+
+
+@pytest.fixture
+def origin():
+    """The paper's SGI Origin2000 (Table 3), for model-only tests."""
+    return origin2000()

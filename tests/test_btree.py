@@ -1,0 +1,154 @@
+"""The B+-tree index substrate and the index-nested-loop join."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostModel, DataRegion
+from repro.db import (
+    Database,
+    SimBTree,
+    btree_lookup_pattern,
+    index_nested_loop_join,
+    random_permutation,
+)
+from repro.hardware import origin2000_scaled, tiny_test_machine
+
+
+class TestBTreeStructure:
+    def test_single_leaf(self, tiny):
+        db = Database(tiny)
+        tree = SimBTree(db, [(1, "a"), (2, "b")], node_bytes=64)
+        assert tree.height == 1
+        assert tree.num_nodes == 1
+
+    def test_multi_level(self, tiny):
+        db = Database(tiny)
+        pairs = [(k, k) for k in range(100)]
+        tree = SimBTree(db, pairs, node_bytes=64)  # fanout 4
+        assert tree.height >= 3
+        assert tree.num_nodes >= 25
+
+    def test_region_geometry(self, tiny):
+        db = Database(tiny)
+        tree = SimBTree(db, [(k, k) for k in range(50)], node_bytes=64)
+        region = tree.region()
+        assert region.n == tree.num_nodes
+        assert region.w == 64
+        assert region.size == tree.size
+
+    def test_node_too_small_rejected(self, tiny):
+        db = Database(tiny)
+        with pytest.raises(ValueError):
+            SimBTree(db, [(1, "a")], node_bytes=16)
+
+    def test_empty_rejected(self, tiny):
+        db = Database(tiny)
+        with pytest.raises(ValueError):
+            SimBTree(db, [])
+
+    def test_wider_nodes_make_shallower_trees(self, tiny):
+        db = Database(tiny)
+        pairs = [(k, k) for k in range(500)]
+        narrow = SimBTree(db, pairs, node_bytes=32)
+        wide = SimBTree(db, pairs, node_bytes=256)
+        assert wide.height < narrow.height
+
+
+class TestBTreeLookup:
+    def test_present_keys(self, tiny):
+        db = Database(tiny)
+        tree = SimBTree(db, [(k, f"p{k}") for k in range(64)], node_bytes=64)
+        assert tree.lookup(17) == ["p17"]
+        assert tree.lookup(0) == ["p0"]
+        assert tree.lookup(63) == ["p63"]
+
+    def test_absent_keys(self, tiny):
+        db = Database(tiny)
+        tree = SimBTree(db, [(k * 2, k) for k in range(32)], node_bytes=64)
+        assert tree.lookup(5) == []
+        assert tree.lookup(-1) == []
+        assert tree.lookup(1000) == []
+
+    def test_duplicate_keys(self, tiny):
+        db = Database(tiny)
+        tree = SimBTree(db, [(7, "a"), (7, "b"), (3, "c")], node_bytes=64)
+        assert sorted(tree.lookup(7)) == ["a", "b"]
+
+    def test_lookup_touches_height_nodes(self, tiny):
+        db = Database(tiny)
+        tree = SimBTree(db, [(k, k) for k in range(200)], node_bytes=64)
+        before = db.mem.accesses
+        tree.lookup(123)
+        assert db.mem.accesses - before == tree.height
+
+    def test_build_from_column(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("V", [30, 10, 20], width=8)
+        tree = SimBTree.build(db, col)
+        assert tree.lookup(10) == [1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    def test_property_all_keys_found(self, keys):
+        db = Database(tiny_test_machine())
+        tree = SimBTree(db, [(k, i) for i, k in enumerate(keys)],
+                        node_bytes=64)
+        for i, k in enumerate(keys):
+            assert i in tree.lookup(k)
+
+
+class TestIndexJoin:
+    def test_one_to_one(self, tiny):
+        db = Database(tiny)
+        inner = db.create_column("V", random_permutation(64, seed=1), width=8)
+        tree = SimBTree.build(db, inner)
+        outer = db.create_column("U", random_permutation(64, seed=2), width=8)
+        out = index_nested_loop_join(db, outer, tree)
+        pairs = {(outer.peek(i), inner.peek(j)) for i, j in out.values}
+        assert pairs == {(k, k) for k in range(64)}
+
+    def test_pattern_shape(self):
+        U = DataRegion("U", n=1000, w=8)
+        T = DataRegion("T", n=120, w=128)
+        W = DataRegion("W", n=1000, w=16)
+        pattern = btree_lookup_pattern(U, T, height=3, W=W, fanout=10)
+        # One r_acc per tree level, each hit once per probe.
+        from repro.core import RAcc
+        raccs = [p for p in pattern.parts if isinstance(p, RAcc)]
+        assert len(raccs) == 3
+        assert all(r.r == 1000 for r in raccs)
+        # Level sizes: root 1, mid 10, leaves the rest.
+        assert [r.region.n for r in raccs] == [1, 10, 109]
+
+    def test_pattern_rejects_bad_height(self):
+        U = DataRegion("U", n=10, w=8)
+        T = DataRegion("T", n=10, w=128)
+        W = DataRegion("W", n=10, w=16)
+        with pytest.raises(ValueError):
+            btree_lookup_pattern(U, T, height=0, W=W)
+
+    def test_model_vs_simulator(self):
+        """Index join: predicted misses track the simulator within 2x
+        (upper tree levels cache-reside; r_acc's distinct-line
+        expectation captures that)."""
+        hw = origin2000_scaled()
+        db = Database(hw)
+        n = 4096
+        inner = db.create_column("V", random_permutation(n, seed=3), width=8)
+        tree = SimBTree.build(db, inner, node_bytes=128)
+        outer = db.create_column("U", random_permutation(n, seed=4), width=8)
+        db.reset()
+        with db.measure() as res:
+            out = index_nested_loop_join(db, outer, tree)
+        assert len(out.values) == n
+        model = CostModel(hw)
+        W = DataRegion("W", n=n, w=16)
+        pattern = btree_lookup_pattern(outer.region(), tree.region(),
+                                       tree.height, W, fanout=tree.fanout)
+        est = model.estimate(pattern)
+        for name in ("L2", "TLB"):
+            measured = res[0].misses(name)
+            predicted = est.misses(name)
+            assert predicted == pytest.approx(measured, rel=1.0), (
+                name, measured, predicted)

@@ -1,0 +1,126 @@
+"""Unit tests for the per-level hardware parameters (paper Table 1)."""
+
+import pytest
+
+from repro.hardware import FULLY_ASSOCIATIVE, CacheLevel
+
+
+def make(name="L1", capacity=32 * 1024, line=32, assoc=2,
+         seq=8.0, rand=24.0, tlb=False):
+    return CacheLevel(
+        name=name, capacity=capacity, line_size=line, associativity=assoc,
+        seq_miss_latency_ns=seq, rand_miss_latency_ns=rand, is_tlb=tlb,
+    )
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            make(capacity=-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            make(capacity=0)
+
+    def test_zero_line_size_rejected(self):
+        with pytest.raises(ValueError, match="line size"):
+            make(line=0)
+
+    def test_capacity_must_be_line_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            make(capacity=100, line=32)
+
+    def test_negative_associativity_rejected(self):
+        with pytest.raises(ValueError, match="associativity"):
+            make(assoc=-1)
+
+    def test_associativity_above_line_count_rejected(self):
+        with pytest.raises(ValueError, match="associativity"):
+            make(capacity=64, line=32, assoc=4)
+
+    def test_random_latency_below_sequential_rejected(self):
+        with pytest.raises(ValueError, match="random"):
+            make(seq=10.0, rand=5.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latencies"):
+            make(seq=-1.0, rand=1.0)
+
+    def test_set_associative_tlb_rejected(self):
+        with pytest.raises(ValueError, match="fully associative"):
+            make(tlb=True, assoc=2)
+
+    def test_equal_latencies_allowed(self):
+        level = make(seq=30.0, rand=30.0)
+        assert level.seq_miss_latency_ns == level.rand_miss_latency_ns
+
+
+class TestDerived:
+    def test_num_lines(self):
+        assert make(capacity=32 * 1024, line=32).num_lines == 1024
+
+    def test_num_sets_two_way(self):
+        assert make(capacity=32 * 1024, line=32, assoc=2).num_sets == 512
+
+    def test_num_sets_direct_mapped(self):
+        assert make(assoc=1).num_sets == make(assoc=1).num_lines
+
+    def test_fully_associative_has_one_set(self):
+        level = make(assoc=FULLY_ASSOCIATIVE)
+        assert level.num_sets == 1
+        assert level.effective_associativity == level.num_lines
+
+    def test_seq_miss_bandwidth(self):
+        # Z / l = 32 bytes / 8 ns = 4 bytes/ns.
+        assert make().seq_miss_bandwidth == pytest.approx(4.0)
+
+    def test_rand_miss_bandwidth(self):
+        assert make().rand_miss_bandwidth == pytest.approx(32 / 24)
+
+    def test_tlb_bandwidth_is_zero(self):
+        level = make(tlb=True, assoc=FULLY_ASSOCIATIVE, seq=228.0, rand=228.0)
+        assert level.seq_miss_bandwidth == 0.0
+        assert level.rand_miss_bandwidth == 0.0
+
+    def test_miss_latency_selector(self):
+        level = make()
+        assert level.miss_latency_ns(sequential=True) == 8.0
+        assert level.miss_latency_ns(sequential=False) == 24.0
+
+    def test_describe_contains_table1_fields(self):
+        row = make().describe()
+        for key in ("capacity_bytes", "line_size_bytes", "num_lines",
+                    "associativity", "seq_miss_latency_ns",
+                    "rand_miss_latency_ns"):
+            assert key in row
+
+
+class TestScaled:
+    def test_half_capacity(self):
+        level = make(capacity=32 * 1024, line=32)
+        half = level.scaled(0.5)
+        assert half.capacity == 16 * 1024
+        assert half.line_size == 32
+
+    def test_scaled_keeps_latencies(self):
+        half = make().scaled(0.5)
+        assert half.seq_miss_latency_ns == 8.0
+        assert half.rand_miss_latency_ns == 24.0
+
+    def test_tiny_fraction_keeps_at_least_one_line(self):
+        level = make(capacity=64, line=32, assoc=2)
+        tiny = level.scaled(0.01)
+        assert tiny.num_lines >= 1
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            make().scaled(1.5)
+
+    def test_fraction_zero_rejected(self):
+        with pytest.raises(ValueError):
+            make().scaled(0.0)
+
+    def test_associativity_clamped(self):
+        level = make(capacity=256, line=32, assoc=8)
+        small = level.scaled(0.25)
+        assert small.associativity <= small.num_lines

@@ -1,0 +1,58 @@
+"""The Calibrator must recover the configured parameters of the
+simulated machine from elapsed time alone."""
+
+import pytest
+
+from repro.calibrator import CalibrationResult, calibrate
+from repro.hardware import origin2000_scaled
+
+
+@pytest.fixture(scope="module")
+def result() -> CalibrationResult:
+    return calibrate(origin2000_scaled())
+
+
+class TestScaledOrigin:
+    def test_three_levels_detected(self, result):
+        assert len(result) == 3
+
+    def test_capacities_exact(self, result):
+        assert [l.capacity for l in result.levels] == [2048, 32768, 65536]
+
+    def test_line_sizes_exact(self, result):
+        # L1 32 B, TLB page 4 KB, L2 128 B.
+        assert [l.line_size for l in result.levels] == [32, 4096, 128]
+
+    def test_l1_seq_latency(self, result):
+        assert result.levels[0].seq_miss_latency_ns == pytest.approx(8.0, rel=0.05)
+
+    def test_l1_rand_latency(self, result):
+        assert result.levels[0].rand_miss_latency_ns == pytest.approx(24.0, rel=0.15)
+
+    def test_tlb_latency(self, result):
+        tlb = result.levels[1]
+        assert tlb.seq_miss_latency_ns == pytest.approx(228.0, rel=0.1)
+        assert tlb.rand_miss_latency_ns == pytest.approx(228.0, rel=0.35)
+
+    def test_l2_seq_latency(self, result):
+        assert result.levels[2].seq_miss_latency_ns == pytest.approx(188.0, rel=0.05)
+
+    def test_l2_rand_latency(self, result):
+        assert result.levels[2].rand_miss_latency_ns == pytest.approx(400.0, rel=0.25)
+
+    def test_levels_sorted_by_capacity(self, result):
+        caps = [l.capacity for l in result.levels]
+        assert caps == sorted(caps)
+
+
+class TestRobustness:
+    def test_custom_size_range(self):
+        partial = calibrate(origin2000_scaled(), min_size=512,
+                            max_size=16 * 1024)
+        # Only levels whose capacity lies in the swept range appear.
+        assert all(l.capacity <= 16 * 1024 for l in partial.levels)
+
+    def test_deterministic(self):
+        a = calibrate(origin2000_scaled())
+        b = calibrate(origin2000_scaled())
+        assert a == b

@@ -1,0 +1,163 @@
+"""Allocator, columns, context and the unary operators."""
+
+import pytest
+
+from repro.db import (
+    Allocator,
+    Column,
+    Database,
+    Table,
+    project,
+    scan,
+    select,
+    uniform_ints,
+)
+
+
+class TestAllocator:
+    def test_monotonic(self):
+        alloc = Allocator()
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        assert b >= a + 100
+
+    def test_alignment(self):
+        alloc = Allocator(base=1)
+        addr = alloc.allocate(10, alignment=64)
+        assert addr % 64 == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Allocator().allocate(0)
+
+    def test_bytes_allocated(self):
+        alloc = Allocator()
+        alloc.allocate(100)
+        alloc.allocate(28)
+        assert alloc.bytes_allocated == 128
+
+
+class TestColumn:
+    def test_item_address(self):
+        col = Column("c", width=8, address=1000, values=[1, 2, 3])
+        assert col.item_address(2) == 1016
+
+    def test_region_matches_geometry(self):
+        col = Column("c", width=8, address=0, values=[0] * 10)
+        region = col.region()
+        assert region.n == 10 and region.w == 8
+
+    def test_read_reports_access(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("c", [1, 2, 3], width=8)
+        before = db.mem.accesses
+        assert col.read(db.mem, 1) == 2
+        assert db.mem.accesses == before + 1
+
+    def test_write_updates_value(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("c", [1, 2, 3], width=8)
+        col.write(db.mem, 0, 42)
+        assert col.peek(0) == 42
+
+    def test_swap(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("c", [1, 2], width=8)
+        col.swap(db.mem, 0, 1)
+        assert col.values == [2, 1]
+
+    def test_empty_column_allowed(self):
+        # Join/selection results may be empty; the region view falls back
+        # to one item (regions are never empty in the model).
+        col = Column("c", width=8, address=0, values=[])
+        assert col.n == 0
+        assert col.region().n == 1
+
+    def test_table_requires_equal_lengths(self, tiny):
+        db = Database(tiny)
+        a = db.create_column("a", [1, 2], width=8)
+        b = db.create_column("b", [1], width=8)
+        with pytest.raises(ValueError):
+            Table("t", [a, b])
+
+    def test_table_lookup(self, tiny):
+        db = Database(tiny)
+        a = db.create_column("a", [1, 2], width=8)
+        table = Table("t", [a])
+        assert table.column("a") is a
+        with pytest.raises(KeyError):
+            table.column("z")
+
+
+class TestDatabase:
+    def test_columns_do_not_overlap(self, tiny):
+        db = Database(tiny)
+        a = db.create_column("a", [0] * 100, width=8)
+        b = db.create_column("b", [0] * 100, width=8)
+        assert b.address >= a.address + a.size
+
+    def test_creation_is_not_measured(self, tiny):
+        db = Database(tiny)
+        db.create_column("a", [0] * 100, width=8)
+        assert db.mem.accesses == 0
+
+    def test_measure_delta(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", list(range(16)), width=8)
+        with db.measure() as result:
+            scan(db, col)
+        assert result[0].accesses == 16
+
+    def test_reset_clears_counters(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", [1], width=8)
+        scan(db, col)
+        db.reset()
+        assert db.mem.accesses == 0
+
+
+class TestScanSelectProject:
+    def test_scan_checksum(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", [1, 2, 3], width=8)
+        assert scan(db, col) == 6
+
+    def test_scan_touches_each_item_once(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", list(range(64)), width=8)
+        with db.measure() as result:
+            scan(db, col)
+        assert result[0].accesses == 64
+        # Dense column: |R| L1 misses.
+        assert result[0].misses("L1") == col.size // 16
+
+    def test_scan_used_bytes_validated(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", [1], width=8)
+        with pytest.raises(ValueError):
+            scan(db, col, used_bytes=16)
+
+    def test_select_filters(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", list(range(10)), width=8)
+        out = select(db, col, lambda v: v % 2 == 0)
+        assert out.values == [0, 2, 4, 6, 8]
+
+    def test_select_empty_result(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", [1, 3], width=8)
+        out = select(db, col, lambda v: v > 10)
+        assert out.values == []
+
+    def test_project_copies(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", [7, 8], width=8)
+        out = project(db, col, used_bytes=4)
+        assert out.values == [7, 8]
+        assert out.width == 4
+
+    def test_project_validates_u(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", [7], width=8)
+        with pytest.raises(ValueError):
+            project(db, col, used_bytes=9)

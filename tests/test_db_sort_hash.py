@@ -1,0 +1,147 @@
+"""Quick-sort and the hash table, including hypothesis correctness tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import tiny_test_machine
+from repro.db import (
+    Database,
+    SimHashTable,
+    is_sorted,
+    quick_sort,
+    uniform_ints,
+)
+
+
+class TestQuickSort:
+    def test_sorts_random_data(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", uniform_ints(500, seed=1), width=8)
+        quick_sort(db, col)
+        assert is_sorted(col)
+
+    def test_sorts_already_sorted(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", list(range(100)), width=8)
+        quick_sort(db, col)
+        assert col.values == list(range(100))
+
+    def test_sorts_reverse(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", list(range(100, 0, -1)), width=8)
+        quick_sort(db, col)
+        assert is_sorted(col)
+
+    def test_sorts_all_equal(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", [5] * 64, width=8)
+        quick_sort(db, col)
+        assert col.values == [5] * 64
+
+    def test_preserves_multiset(self, tiny):
+        db = Database(tiny)
+        values = uniform_ints(200, hi=20, seed=3)
+        col = db.create_column("a", list(values), width=8)
+        quick_sort(db, col)
+        assert sorted(values) == col.values
+
+    def test_single_item(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", [9], width=8)
+        quick_sort(db, col)
+        assert col.values == [9]
+
+    def test_in_cache_table_loaded_once(self, tiny):
+        """The Figure 7a step: a table fitting L2 incurs only compulsory
+        L2 misses during the whole sort."""
+        db = Database(tiny)
+        n = 64  # 512 B fits the 1 KB L2
+        col = db.create_column("a", uniform_ints(n, seed=4), width=8)
+        db.reset()
+        with db.measure() as result:
+            quick_sort(db, col)
+        compulsory = col.size // 32
+        assert result[0].misses("L2") <= compulsory * 1.5
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                           min_size=1, max_size=300))
+    def test_property_sorts_any_input(self, values):
+        db = Database(tiny_test_machine())
+        col = db.create_column("a", list(values), width=8)
+        quick_sort(db, col)
+        assert col.values == sorted(values)
+
+
+class TestHashTable:
+    def test_insert_lookup(self, tiny):
+        db = Database(tiny)
+        table = SimHashTable(db, n=16)
+        table.insert(42, "payload")
+        assert table.lookup(42) == ["payload"]
+
+    def test_missing_key(self, tiny):
+        db = Database(tiny)
+        table = SimHashTable(db, n=16)
+        table.insert(1, "x")
+        assert table.lookup(2) == []
+
+    def test_duplicate_keys_all_found(self, tiny):
+        db = Database(tiny)
+        table = SimHashTable(db, n=16)
+        table.insert(7, "a")
+        table.insert(7, "b")
+        assert sorted(table.lookup(7)) == ["a", "b"]
+
+    def test_capacity_power_of_two_and_load_bounded(self, tiny):
+        db = Database(tiny)
+        table = SimHashTable(db, n=100, max_load=0.5)
+        assert table.capacity & (table.capacity - 1) == 0
+        assert table.capacity >= 200
+
+    def test_full_table_raises(self, tiny):
+        db = Database(tiny)
+        table = SimHashTable(db, n=1, max_load=1.0)
+        table.insert(1, "a")
+        with pytest.raises(RuntimeError):
+            table.insert(2, "b")
+
+    def test_region_matches_slot_array(self, tiny):
+        db = Database(tiny)
+        table = SimHashTable(db, n=100)
+        region = table.region()
+        assert region.n == table.capacity
+        assert region.w == 16
+        assert region.size == table.size
+
+    def test_build_from_column(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("v", [10, 20, 30], width=8)
+        table = SimHashTable.build(db, col)
+        assert table.lookup(20) == [1]   # payload is the row index
+
+    def test_operations_are_measured(self, tiny):
+        db = Database(tiny)
+        table = SimHashTable(db, n=16)
+        before = db.mem.accesses
+        table.insert(5, "x")
+        assert db.mem.accesses > before
+
+    def test_invalid_parameters(self, tiny):
+        db = Database(tiny)
+        with pytest.raises(ValueError):
+            SimHashTable(db, n=0)
+        with pytest.raises(ValueError):
+            SimHashTable(db, n=10, max_load=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=st.lists(st.integers(min_value=0, max_value=10**9),
+                         min_size=1, max_size=200))
+    def test_property_every_inserted_key_found(self, keys):
+        db = Database(tiny_test_machine())
+        table = SimHashTable(db, n=len(keys))
+        for i, key in enumerate(keys):
+            table.insert(key, i)
+        for i, key in enumerate(keys):
+            assert i in table.lookup(key)

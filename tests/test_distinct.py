@@ -1,0 +1,116 @@
+"""The expected-distinct-items estimator (paper Section 4.6).
+
+The headline property: the paper's exact Stirling-number expectation and
+the closed form ``n * (1 - (1 - 1/n)^r)`` agree — proven here for every
+small (r, n) pair hypothesis throws at them.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import expected_distinct, expected_distinct_exact, stirling2
+
+
+class TestStirling:
+    def test_base_cases(self):
+        assert stirling2(0, 0) == 1
+        assert stirling2(5, 0) == 0
+        assert stirling2(0, 3) == 0
+
+    def test_k_above_n_is_zero(self):
+        assert stirling2(3, 5) == 0
+
+    def test_known_values(self):
+        # Standard table: S(4,2)=7, S(5,3)=25, S(6,3)=90.
+        assert stirling2(4, 2) == 7
+        assert stirling2(5, 3) == 25
+        assert stirling2(6, 3) == 90
+
+    def test_partition_into_singletons(self):
+        assert stirling2(7, 7) == 1
+
+    def test_partition_into_one_set(self):
+        assert stirling2(7, 1) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            stirling2(-1, 0)
+
+    def test_sum_rule(self):
+        # sum_k S(n,k) * falling_factorial(x, k) = x^n at x = 3, n = 4.
+        x, n = 3, 4
+        total = 0
+        for k in range(n + 1):
+            ff = 1
+            for i in range(k):
+                ff *= (x - i)
+            total += stirling2(n, k) * ff
+        assert total == x ** n
+
+
+class TestExact:
+    def test_single_access(self):
+        assert expected_distinct_exact(1, 10) == 1
+
+    def test_single_item(self):
+        assert expected_distinct_exact(5, 1) == 1
+
+    def test_two_draws_two_items(self):
+        # P(two distinct) = 1/2: E = 1.5.
+        assert expected_distinct_exact(2, 2) == Fraction(3, 2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            expected_distinct_exact(0, 5)
+        with pytest.raises(ValueError):
+            expected_distinct_exact(5, 0)
+
+
+class TestClosedForm:
+    def test_single_access(self):
+        assert expected_distinct(1, 10) == 1.0
+
+    def test_bounded_by_r_and_n(self):
+        assert expected_distinct(1000, 10) <= 10
+        assert expected_distinct(3, 1000) <= 3
+
+    def test_many_draws_approach_n(self):
+        assert expected_distinct(10_000, 10) == pytest.approx(10, rel=1e-6)
+
+    def test_large_arguments_stable(self):
+        value = expected_distinct(10**9, 10**9)
+        # E/n -> 1 - 1/e.
+        assert value / 10**9 == pytest.approx(1 - math.exp(-1), rel=1e-6)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            expected_distinct(0, 5)
+
+
+@settings(max_examples=200, deadline=None)
+@given(r=st.integers(min_value=1, max_value=12),
+       n=st.integers(min_value=1, max_value=12))
+def test_property_stirling_expectation_equals_closed_form(r, n):
+    exact = expected_distinct_exact(r, n)
+    closed = Fraction(n) * (1 - (1 - Fraction(1, n)) ** r) if n > 1 else Fraction(1)
+    assert exact == closed
+    assert float(exact) == pytest.approx(expected_distinct(r, n), rel=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(r=st.integers(min_value=1, max_value=10**6),
+       n=st.integers(min_value=1, max_value=10**6))
+def test_property_closed_form_bounds(r, n):
+    value = expected_distinct(r, n)
+    assert 1.0 <= value <= min(r, n) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(r=st.integers(min_value=1, max_value=10**4),
+       n=st.integers(min_value=2, max_value=10**4))
+def test_property_monotone_in_r(r, n):
+    assert expected_distinct(r + 1, n) >= expected_distinct(r, n) - 1e-9

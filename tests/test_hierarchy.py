@@ -1,0 +1,92 @@
+"""Unit tests for the cascaded hierarchy (paper Section 2.3)."""
+
+import pytest
+
+from repro.hardware import CacheLevel, MemoryHierarchy
+
+
+def level(name, capacity, line, tlb=False, seq=10.0, rand=20.0):
+    return CacheLevel(name=name, capacity=capacity, line_size=line,
+                      associativity=0, seq_miss_latency_ns=seq,
+                      rand_miss_latency_ns=rand, is_tlb=tlb)
+
+
+class TestValidation:
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MemoryHierarchy(name="x", levels=())
+
+    def test_shrinking_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            MemoryHierarchy(name="x", levels=(
+                level("L1", 1024, 32), level("L2", 512, 32),
+            ))
+
+    def test_shrinking_line_size_rejected(self):
+        with pytest.raises(ValueError, match="line size"):
+            MemoryHierarchy(name="x", levels=(
+                level("L1", 1024, 64), level("L2", 4096, 32),
+            ))
+
+    def test_tlb_in_levels_rejected(self):
+        with pytest.raises(ValueError, match="TLB"):
+            MemoryHierarchy(name="x", levels=(level("T", 512, 128, tlb=True),))
+
+    def test_non_tlb_in_tlbs_rejected(self):
+        with pytest.raises(ValueError, match="non-TLB"):
+            MemoryHierarchy(name="x", levels=(level("L1", 1024, 32),),
+                            tlbs=(level("T", 512, 128, tlb=False),))
+
+    def test_non_positive_cpu_speed_rejected(self):
+        with pytest.raises(ValueError, match="cpu_speed"):
+            MemoryHierarchy(name="x", levels=(level("L1", 1024, 32),),
+                            cpu_speed_mhz=0)
+
+
+class TestAccessors:
+    def test_all_levels_order(self, origin):
+        names = [l.name for l in origin.all_levels]
+        assert names == ["L1", "L2", "TLB"]
+
+    def test_level_lookup(self, origin):
+        assert origin.level("L2").capacity == 4 * 1024 * 1024
+
+    def test_level_lookup_tlb(self, origin):
+        assert origin.level("TLB").is_tlb
+
+    def test_unknown_level_raises(self, origin):
+        with pytest.raises(KeyError):
+            origin.level("L9")
+
+    def test_num_levels(self, origin):
+        assert origin.num_levels == 3
+
+    def test_cycle_conversion_roundtrip(self, origin):
+        assert origin.nanoseconds(origin.cycles(123.0)) == pytest.approx(123.0)
+
+    def test_cycles_at_250mhz(self, origin):
+        # 4 ns = 1 cycle at 250 MHz.
+        assert origin.cycles(4.0) == pytest.approx(1.0)
+
+    def test_describe_one_row_per_level(self, origin):
+        assert len(origin.describe()) == 3
+
+
+class TestScaledCapacities:
+    def test_capacity_divided(self, origin):
+        small = origin.scaled_capacities(4)
+        assert small.level("L2").capacity == origin.level("L2").capacity // 4
+
+    def test_line_sizes_preserved(self, origin):
+        small = origin.scaled_capacities(8)
+        for big_l, small_l in zip(origin.all_levels, small.all_levels):
+            assert big_l.line_size == small_l.line_size
+
+    def test_latencies_preserved(self, origin):
+        small = origin.scaled_capacities(8)
+        for big_l, small_l in zip(origin.all_levels, small.all_levels):
+            assert big_l.seq_miss_latency_ns == small_l.seq_miss_latency_ns
+
+    def test_factor_below_one_rejected(self, origin):
+        with pytest.raises(ValueError):
+            origin.scaled_capacities(0)

@@ -1,0 +1,123 @@
+"""Property-based tests of the Section 4.4 invariants.
+
+The paper states relationships between sequential and random traversal
+miss counts that must hold for all regions and cache geometries; we let
+hypothesis hunt for counterexamples.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DataRegion,
+    LevelGeometry,
+    rtrav_count,
+    strav_count,
+)
+
+geometries = st.sampled_from([
+    LevelGeometry(16, 256.0, 16.0),
+    LevelGeometry(32, 2048.0, 64.0),
+    LevelGeometry(128, 65536.0, 512.0),
+])
+
+lengths = st.integers(min_value=1, max_value=100_000)
+widths = st.integers(min_value=1, max_value=512)
+
+
+@settings(max_examples=300, deadline=None)
+@given(geo=geometries, n=lengths, w=widths)
+def test_fitting_dense_region_random_equals_sequential(geo, n, w):
+    """||R|| <= C and gap < Z: r_trav misses == s_trav misses."""
+    region = DataRegion("R", n=n, w=w)
+    if region.size > geo.capacity:
+        return
+    u = w  # gap 0 < Z always
+    assert rtrav_count(region, u, geo) == pytest.approx(strav_count(region, u, geo))
+
+
+@settings(max_examples=300, deadline=None)
+@given(geo=geometries, n=lengths, w=widths)
+def test_exceeding_dense_region_random_at_least_sequential(geo, n, w):
+    """||R|| > C and gap < Z: r_trav misses >= s_trav misses."""
+    region = DataRegion("R", n=n, w=w)
+    if region.size <= geo.capacity:
+        return
+    u = w
+    assert rtrav_count(region, u, geo) >= strav_count(region, u, geo) - 1e-9
+
+
+@settings(max_examples=300, deadline=None)
+@given(geo=geometries, n=st.integers(min_value=1, max_value=10_000),
+       w=widths, u=st.integers(min_value=1, max_value=512))
+def test_sparse_gap_random_equals_sequential(geo, n, w, u):
+    """R.w - u >= Z: random and sequential counts coincide (Eq. 4.5)."""
+    if u > w or (w - u) < geo.line_size:
+        return
+    region = DataRegion("R", n=n, w=w)
+    assert rtrav_count(region, u, geo) == pytest.approx(strav_count(region, u, geo))
+
+
+@settings(max_examples=300, deadline=None)
+@given(geo=geometries, size_lines=st.integers(min_value=1, max_value=1000),
+       w1=st.sampled_from([1, 2, 4, 8, 16]), w2=st.sampled_from([1, 2, 4, 8, 16]))
+def test_dense_sequential_invariant_to_item_size(geo, size_lines, w1, w2):
+    """Gap < Z: s_trav depends only on ||R||, not on R.w (Section 4.4)."""
+    size = size_lines * geo.line_size
+    if size % w1 or size % w2:
+        return
+    r1 = DataRegion("R1", n=size // w1, w=w1)
+    r2 = DataRegion("R2", n=size // w2, w=w2)
+    assert strav_count(r1, w1, geo) == pytest.approx(strav_count(r2, w2, geo))
+
+
+@settings(max_examples=300, deadline=None)
+@given(geo=geometries, n=st.integers(min_value=1, max_value=2000),
+       w1=st.sampled_from([1, 2, 4, 8]), w2=st.sampled_from([1, 2, 4, 8]))
+def test_fitting_random_invariant_to_item_size(geo, n, w1, w2):
+    """Gap < Z and both regions fit: r_trav invariant to item size for a
+    fixed total size (Section 4.4; invariance holds only when fitting)."""
+    size = n * w1 * w2  # common multiple
+    r1 = DataRegion("R1", n=size // w1, w=w1)
+    r2 = DataRegion("R2", n=size // w2, w=w2)
+    if r1.size > geo.capacity:
+        return
+    assert rtrav_count(r1, w1, geo) == pytest.approx(rtrav_count(r2, w2, geo))
+
+
+@settings(max_examples=300, deadline=None)
+@given(geo=geometries, n=st.integers(min_value=1, max_value=5000),
+       w=st.sampled_from([64, 128, 256, 512]),
+       u=st.sampled_from([1, 2, 4, 8, 16]))
+def test_sparse_gap_count_independent_of_width(geo, n, w, u):
+    """Gap >= Z: misses depend only on R.n and u, not on R.w."""
+    if (w - u) < geo.line_size:
+        return
+    wider = w * 2
+    r1 = DataRegion("R1", n=n, w=w)
+    r2 = DataRegion("R2", n=n, w=wider)
+    assert strav_count(r1, u, geo) == pytest.approx(strav_count(r2, u, geo))
+    assert rtrav_count(r1, u, geo) == pytest.approx(rtrav_count(r2, u, geo))
+
+
+@settings(max_examples=300, deadline=None)
+@given(geo=geometries, n=lengths, w=widths,
+       u=st.integers(min_value=1, max_value=512))
+def test_counts_are_positive_and_finite(geo, n, w, u):
+    if u > w:
+        return
+    region = DataRegion("R", n=n, w=w)
+    for fn in (strav_count, rtrav_count):
+        value = fn(region, u, geo)
+        assert value > 0
+        assert value < float("inf")
+
+
+@settings(max_examples=300, deadline=None)
+@given(geo=geometries, n=lengths, w=widths)
+def test_strav_never_exceeds_per_item_bound(geo, n, w):
+    """A traversal never loads more than items x (lines spanned + 1)."""
+    region = DataRegion("R", n=n, w=w)
+    bound = n * (w // geo.line_size + 2)
+    assert strav_count(region, w, geo) <= bound

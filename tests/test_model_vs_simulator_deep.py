@@ -1,0 +1,177 @@
+"""Deeper model-vs-simulator agreement checks on the tiny machine.
+
+Each test drives one basic pattern through the simulator and checks the
+corresponding Section 4 equation on *every* level (L1, L2, TLB), not
+just L1 as the per-equation unit tests do.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BI,
+    CostModel,
+    DataRegion,
+    Nest,
+    RAcc,
+    RANDOM,
+    RSTrav,
+    RTrav,
+    STrav,
+    UNI,
+)
+from repro.hardware import tiny_test_machine
+from repro.simulator import MemorySystem
+
+
+def run_trace(hierarchy, trace):
+    mem = MemorySystem(hierarchy)
+    for addr, nbytes in trace:
+        mem.access(addr, nbytes)
+    return mem.snapshot()
+
+
+def strav_trace(base, n, w, u):
+    return [(base + i * w, u) for i in range(n)]
+
+
+def rtrav_trace(base, n, w, u, seed=1):
+    order = list(range(n))
+    random.Random(seed).shuffle(order)
+    return [(base + i * w, u) for i in order]
+
+
+class TestAllLevels:
+    @pytest.fixture
+    def hw(self):
+        return tiny_test_machine()
+
+    @pytest.fixture
+    def model(self, hw):
+        return CostModel(hw)
+
+    def assert_levels(self, hw, model, pattern, snapshot, rel, levels=None):
+        for level in hw.all_levels:
+            if levels and level.name not in levels:
+                continue
+            predicted = model.level_misses(pattern, level).total
+            measured = snapshot.misses(level.name)
+            assert predicted == pytest.approx(measured, rel=rel, abs=2), (
+                level.name, measured, predicted)
+
+    def test_strav_all_levels(self, hw, model):
+        n, w = 256, 8   # 2 KB: exceeds L1/L2/TLB of the tiny machine
+        region = DataRegion("R", n=n, w=w)
+        snap = run_trace(hw, strav_trace(4096, n, w, w))
+        self.assert_levels(hw, model, STrav(region), snap, rel=0.05)
+
+    def test_rtrav_fitting_all_levels(self, hw, model):
+        n, w = 16, 8   # 128 B fits everywhere
+        region = DataRegion("R", n=n, w=w)
+        snap = run_trace(hw, rtrav_trace(4096, n, w, w))
+        self.assert_levels(hw, model, RTrav(region), snap, rel=0.05)
+
+    def test_rtrav_exceeding_all_levels(self, hw, model):
+        n, w = 512, 8   # 4 KB: 16x L1, 4x L2, 8x TLB
+        region = DataRegion("R", n=n, w=w)
+        snaps = [run_trace(hw, rtrav_trace(4096, n, w, w, seed=s))
+                 for s in range(4)]
+        for level in hw.all_levels:
+            measured = sum(s.misses(level.name) for s in snaps) / len(snaps)
+            predicted = model.level_misses(RTrav(region), level).total
+            assert predicted == pytest.approx(measured, rel=0.30), (
+                level.name, measured, predicted)
+
+    def test_rstrav_uni_all_levels(self, hw, model):
+        n, w, r = 256, 8, 3
+        region = DataRegion("R", n=n, w=w)
+        trace = strav_trace(4096, n, w, w) * r
+        snap = run_trace(hw, trace)
+        pattern = RSTrav(region, r=r, direction=UNI)
+        self.assert_levels(hw, model, pattern, snap, rel=0.05)
+
+    def test_rstrav_bi_all_levels(self, hw, model):
+        n, w, r = 256, 8, 3
+        region = DataRegion("R", n=n, w=w)
+        trace = []
+        for sweep in range(r):
+            idx = range(n) if sweep % 2 == 0 else range(n - 1, -1, -1)
+            trace.extend((4096 + i * w, w) for i in idx)
+        snap = run_trace(hw, trace)
+        pattern = RSTrav(region, r=r, direction=BI)
+        # Bi-directional re-use interacts with associativity; allow 30%.
+        self.assert_levels(hw, model, pattern, snap, rel=0.30)
+
+    def test_racc_all_levels(self, hw, model):
+        n, w, hits = 128, 8, 2000
+        region = DataRegion("R", n=n, w=w)
+        rng = random.Random(7)
+        trace = [(4096 + rng.randrange(n) * w, w) for _ in range(hits)]
+        snap = run_trace(hw, trace)
+        pattern = RAcc(region, r=hits)
+        for level in hw.all_levels:
+            predicted = model.level_misses(pattern, level).total
+            measured = snap.misses(level.name)
+            assert predicted == pytest.approx(measured, rel=0.35, abs=4), (
+                level.name, measured, predicted)
+
+    def test_nest_round_robin_all_levels(self, hw, model):
+        """m interleaved sequential cursors, random global order."""
+        n, w, m = 512, 8, 32
+        region = DataRegion("R", n=n, w=w)
+        sub = n // m
+        fills = [0] * m
+        rng = random.Random(3)
+        trace = []
+        for _ in range(n):
+            candidates = [j for j in range(m) if fills[j] < sub]
+            j = rng.choice(candidates)
+            trace.append((4096 + (j * sub + fills[j]) * w, w))
+            fills[j] += 1
+        snap = run_trace(hw, trace)
+        pattern = Nest(region, m=m, local="s_trav", order=RANDOM)
+        for level in hw.all_levels:
+            predicted = model.level_misses(pattern, level).total
+            measured = snap.misses(level.name)
+            # The thrash-extra term is the roughest reconstruction;
+            # require the right order of magnitude and the right side
+            # of the compulsory floor.
+            floor = region.lines(level.line_size)
+            assert measured >= floor * 0.9
+            assert predicted == pytest.approx(measured, rel=1.0, abs=8), (
+                level.name, measured, predicted)
+
+
+class TestTimePredictions:
+    def test_sequential_time_all_levels(self):
+        hw = tiny_test_machine()
+        model = CostModel(hw)
+        n, w = 512, 8
+        region = DataRegion("R", n=n, w=w)
+        snap = run_trace(hw, strav_trace(4096, n, w, w))
+        predicted = model.estimate(STrav(region)).memory_ns
+        assert predicted == pytest.approx(snap.elapsed_ns, rel=0.1)
+
+    def test_random_time_all_levels(self):
+        hw = tiny_test_machine()
+        model = CostModel(hw)
+        n, w = 512, 8
+        region = DataRegion("R", n=n, w=w)
+        snaps = [run_trace(hw, rtrav_trace(4096, n, w, w, seed=s))
+                 for s in range(4)]
+        measured = sum(s.elapsed_ns for s in snaps) / len(snaps)
+        predicted = model.estimate(RTrav(region)).memory_ns
+        assert predicted == pytest.approx(measured, rel=0.35)
+
+    def test_random_slower_than_sequential_in_model_and_simulator(self):
+        hw = tiny_test_machine()
+        model = CostModel(hw)
+        n, w = 512, 8
+        region = DataRegion("R", n=n, w=w)
+        seq_meas = run_trace(hw, strav_trace(4096, n, w, w)).elapsed_ns
+        rnd_meas = run_trace(hw, rtrav_trace(4096, n, w, w)).elapsed_ns
+        assert rnd_meas > seq_meas
+        seq_pred = model.estimate(STrav(region)).memory_ns
+        rnd_pred = model.estimate(RTrav(region)).memory_ns
+        assert rnd_pred > seq_pred

@@ -1,0 +1,96 @@
+"""Cost-based algorithm selection."""
+
+import pytest
+
+from repro.core import DataRegion
+from repro.hardware import origin2000
+from repro.optimizer import JoinAdvisor
+
+
+def regions(n, w=8, out_w=16):
+    return (DataRegion("U", n=n, w=w),
+            DataRegion("V", n=n, w=w),
+            DataRegion("W", n=n, w=out_w))
+
+
+class TestAdvisor:
+    def test_rank_orders_by_cost(self, origin):
+        advisor = JoinAdvisor(origin)
+        ranked = advisor.rank(*regions(100_000))
+        costs = [c.total_ns for c in ranked]
+        assert costs == sorted(costs)
+
+    def test_best_is_head_of_rank(self, origin):
+        advisor = JoinAdvisor(origin)
+        U, V, W = regions(50_000)
+        assert advisor.best(U, V, W).algorithm == advisor.rank(U, V, W)[0].algorithm
+
+    def test_sorted_inputs_favour_merge_join(self, origin):
+        advisor = JoinAdvisor(origin, inputs_sorted=True)
+        choice = advisor.best(*regions(1_000_000))
+        assert choice.algorithm == "merge_join"
+
+    def test_unsorted_large_inputs_avoid_pure_merge(self, origin):
+        """With the sort charged, merge join loses against hash-based
+        joins on large unsorted operands."""
+        advisor = JoinAdvisor(origin, inputs_sorted=False)
+        ranked = advisor.rank(*regions(4_000_000))
+        assert ranked[0].algorithm in ("hash_join", "partitioned_hash_join")
+
+    def test_cache_resident_tables_prefer_plain_hash_join(self, origin):
+        """When the hash table fits L2, partitioning buys nothing."""
+        advisor = JoinAdvisor(origin, inputs_sorted=False)
+        U, V, W = regions(50_000)  # H = 800 KB < 4 MB L2
+        hash_choice = advisor.hash_join_choice(U, V, W)
+        part_choice = advisor.partitioned_hash_join_choice(U, V, W)
+        assert hash_choice.total_ns <= part_choice.total_ns
+
+    def test_oversized_tables_prefer_partitioned(self, origin):
+        """Once the hash table vastly exceeds every cache, partitioning
+        pays off (the paper's Section 6.2 motivation)."""
+        advisor = JoinAdvisor(origin, inputs_sorted=False)
+        U, V, W = regions(16_000_000)  # H = 256 MB >> 4 MB L2
+        hash_choice = advisor.hash_join_choice(U, V, W)
+        part_choice = advisor.partitioned_hash_join_choice(U, V, W)
+        assert part_choice.total_ns < hash_choice.total_ns
+
+    def test_nested_loop_only_when_requested(self, origin):
+        advisor = JoinAdvisor(origin)
+        U, V, W = regions(1000)
+        names = [c.algorithm for c in advisor.rank(U, V, W)]
+        assert "nested_loop_join" not in names
+        names = [c.algorithm
+                 for c in advisor.rank(U, V, W, include_nested_loop=True)]
+        assert "nested_loop_join" in names
+
+    def test_nested_loop_loses_at_scale(self, origin):
+        advisor = JoinAdvisor(origin)
+        ranked = advisor.rank(*regions(100_000), include_nested_loop=True)
+        assert ranked[-1].algorithm == "nested_loop_join"
+
+
+class TestPartitionRecommendation:
+    def test_fitting_table_needs_no_partitioning(self, origin):
+        advisor = JoinAdvisor(origin)
+        V = DataRegion("V", n=1000, w=8)  # 16 KB hash table
+        assert advisor.recommend_partitions(V) == 1
+
+    def test_oversized_table_partitioned_to_cache(self, origin):
+        advisor = JoinAdvisor(origin)
+        V = DataRegion("V", n=4_000_000, w=8)  # 64 MB hash table
+        m = advisor.recommend_partitions(V)
+        H_per_part = 16 * V.n / m
+        assert H_per_part <= origin.level("L2").capacity
+
+    def test_partition_count_bounded_by_line_count(self, origin):
+        advisor = JoinAdvisor(origin)
+        V = DataRegion("V", n=10**9, w=8)
+        m = advisor.recommend_partitions(V)
+        assert m <= min(l.num_lines for l in origin.all_levels)
+
+    def test_explicit_target_level(self, origin):
+        advisor = JoinAdvisor(origin)
+        V = DataRegion("V", n=100_000, w=8)  # 1.6 MB hash table
+        m_l1 = advisor.recommend_partitions(V, target_level="L1")
+        m_l2 = advisor.recommend_partitions(V, target_level="L2")
+        assert m_l1 >= m_l2

@@ -1,0 +1,136 @@
+"""The textual pattern-language parser."""
+
+import pytest
+
+from repro.core import (
+    Conc,
+    DataRegion,
+    Nest,
+    RAcc,
+    RRTrav,
+    RSTrav,
+    RTrav,
+    Seq,
+    STrav,
+    hash_join_pattern,
+    merge_join_pattern,
+)
+from repro.core.parser import PatternSyntaxError, parse_pattern
+
+
+@pytest.fixture
+def env():
+    return {
+        "U": DataRegion("U", n=1000, w=8),
+        "V": DataRegion("V", n=1000, w=8),
+        "W": DataRegion("W", n=1000, w=16),
+        "H": DataRegion("H", n=2048, w=16),
+    }
+
+
+class TestBasics:
+    def test_strav(self, env):
+        assert parse_pattern("s_trav(U)", env) == STrav(env["U"])
+
+    def test_strav_minus_variant(self, env):
+        pattern = parse_pattern("s_trav-(U)", env)
+        assert isinstance(pattern, STrav) and not pattern.seq_latency
+
+    def test_strav_with_u(self, env):
+        assert parse_pattern("s_trav(U, 4)", env) == STrav(env["U"], u=4)
+
+    def test_rtrav(self, env):
+        assert parse_pattern("r_trav(H)", env) == RTrav(env["H"])
+
+    def test_rstrav(self, env):
+        pattern = parse_pattern("rs_trav(5, bi, V)", env)
+        assert pattern == RSTrav(env["V"], r=5, direction="bi")
+
+    def test_rrtrav(self, env):
+        assert parse_pattern("rr_trav(3, H)", env) == RRTrav(env["H"], r=3)
+
+    def test_racc(self, env):
+        assert parse_pattern("r_acc(1000, H)", env) == RAcc(env["H"], r=1000)
+
+    def test_nest(self, env):
+        pattern = parse_pattern("nest(U, 16, s_trav, rand)", env)
+        assert pattern == Nest(env["U"], m=16, local="s_trav", order="rand")
+
+
+class TestCompound:
+    def test_unicode_operators(self, env):
+        pattern = parse_pattern("s_trav(U) ⊙ r_trav(H) ⊕ s_trav(V)", env)
+        assert isinstance(pattern, Seq)
+        assert isinstance(pattern.parts[0], Conc)
+
+    def test_ascii_operators(self, env):
+        a = parse_pattern("s_trav(U) * r_trav(H) + s_trav(V)", env)
+        b = parse_pattern("s_trav(U) ⊙ r_trav(H) ⊕ s_trav(V)", env)
+        assert a == b
+
+    def test_precedence_conc_over_seq(self, env):
+        pattern = parse_pattern("s_trav(U) ⊕ s_trav(V) ⊙ s_trav(W)", env)
+        assert isinstance(pattern, Seq)
+        assert pattern.parts[0] == STrav(env["U"])
+        assert isinstance(pattern.parts[1], Conc)
+
+    def test_parentheses_override(self, env):
+        pattern = parse_pattern("(s_trav(U) ⊕ s_trav(V)) ⊙ s_trav(W)", env)
+        assert isinstance(pattern, Conc)
+        assert isinstance(pattern.parts[0], Seq)
+
+    def test_round_trips_table2_merge_join(self, env):
+        text = "s_trav+(U) ⊙ s_trav+(V) ⊙ s_trav+(W)"
+        assert (parse_pattern(text, env)
+                == merge_join_pattern(env["U"], env["V"], env["W"]))
+
+    def test_round_trips_hash_join(self, env):
+        text = ("s_trav+(V) ⊙ r_trav(H) "
+                "⊕ s_trav+(U) ⊙ r_acc(1000, H) ⊙ s_trav+(W)")
+        expected = hash_join_pattern(env["U"], env["V"], env["W"], H=env["H"])
+        assert parse_pattern(text, env) == expected
+
+    def test_notation_round_trip(self, env):
+        """Rendering a parsed pattern and re-parsing is a fixpoint."""
+        text = "s_trav+(U) ⊙ r_acc(50, H) ⊕ rs_trav+(2, uni, V)"
+        once = parse_pattern(text, env)
+        twice = parse_pattern(once.notation(), env)
+        assert once == twice
+
+
+class TestErrors:
+    def test_unknown_region(self, env):
+        with pytest.raises(PatternSyntaxError, match="unknown region"):
+            parse_pattern("s_trav(X)", env)
+
+    def test_unknown_pattern(self, env):
+        with pytest.raises(PatternSyntaxError, match="unknown basic pattern"):
+            parse_pattern("zigzag(U)", env)
+
+    def test_missing_args(self, env):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("r_acc(H)", env)
+
+    def test_bad_direction(self, env):
+        with pytest.raises(PatternSyntaxError, match="uni or bi"):
+            parse_pattern("rs_trav(2, sideways, U)", env)
+
+    def test_trailing_garbage(self, env):
+        with pytest.raises(PatternSyntaxError, match="trailing"):
+            parse_pattern("s_trav(U) s_trav(V)", env)
+
+    def test_unbalanced_parens(self, env):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("(s_trav(U)", env)
+
+    def test_empty(self, env):
+        with pytest.raises(PatternSyntaxError, match="empty"):
+            parse_pattern("   ", env)
+
+    def test_stray_character(self, env):
+        with pytest.raises(PatternSyntaxError, match="unexpected character"):
+            parse_pattern("s_trav(U) ⊗ s_trav(V)", env)
+
+    def test_non_numeric_count(self, env):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("r_acc(many, H)", env)

@@ -1,0 +1,139 @@
+"""Unit tests for the access-pattern language (paper Section 3.2/3.3)."""
+
+import pytest
+
+from repro.core import (
+    BI,
+    RANDOM,
+    SEQUENTIAL,
+    UNI,
+    Conc,
+    DataRegion,
+    Nest,
+    RAcc,
+    RRTrav,
+    RSTrav,
+    RTrav,
+    Seq,
+    STrav,
+)
+
+
+@pytest.fixture
+def R():
+    return DataRegion("R", n=100, w=16)
+
+
+class TestBasicConstruction:
+    def test_default_u_is_full_width(self, R):
+        assert STrav(R).used_bytes == 16
+
+    def test_explicit_u(self, R):
+        assert STrav(R, u=4).used_bytes == 4
+
+    def test_u_above_width_rejected(self, R):
+        with pytest.raises(ValueError):
+            STrav(R, u=17)
+
+    def test_u_zero_rejected(self, R):
+        with pytest.raises(ValueError):
+            STrav(R, u=0)
+
+    def test_repetition_requires_positive_r(self, R):
+        with pytest.raises(ValueError):
+            RSTrav(R, r=0)
+        with pytest.raises(ValueError):
+            RRTrav(R, r=0)
+        with pytest.raises(ValueError):
+            RAcc(R, r=0)
+
+    def test_rstrav_direction_validated(self, R):
+        with pytest.raises(ValueError):
+            RSTrav(R, r=2, direction="sideways")
+
+    def test_nest_m_bounded_by_length(self, R):
+        with pytest.raises(ValueError):
+            Nest(R, m=101)
+
+    def test_nest_local_validated(self, R):
+        with pytest.raises(ValueError):
+            Nest(R, m=4, local="zigzag")
+
+    def test_nest_racc_requires_r(self, R):
+        with pytest.raises(ValueError):
+            Nest(R, m=4, local="r_acc")
+
+    def test_randomness_flags(self, R):
+        assert not STrav(R).is_random
+        assert not RSTrav(R, r=2).is_random
+        assert RTrav(R).is_random
+        assert RRTrav(R, r=2).is_random
+        assert RAcc(R, r=5).is_random
+        assert Nest(R, m=4, local="s_trav", order=RANDOM).is_random
+        assert not Nest(R, m=4, local="s_trav", order=SEQUENTIAL).is_random
+
+
+class TestNotation:
+    def test_strav_variants(self, R):
+        assert STrav(R).notation() == "s_trav+(R)"
+        assert STrav(R, seq_latency=False).notation() == "s_trav-(R)"
+
+    def test_u_in_notation(self, R):
+        assert STrav(R, u=4).notation() == "s_trav+(R, 4)"
+
+    def test_compound_notation_uses_paper_operators(self, R):
+        pattern = STrav(R) * RTrav(R) + RAcc(R, r=5)
+        text = pattern.notation()
+        assert "⊙" in text and "⊕" in text
+
+
+class TestCombinators:
+    def test_plus_builds_seq(self, R):
+        assert isinstance(STrav(R) + RTrav(R), Seq)
+
+    def test_star_builds_conc(self, R):
+        assert isinstance(STrav(R) * RTrav(R), Conc)
+
+    def test_python_precedence_matches_paper(self, R):
+        # a + b * c must parse as a ⊕ (b ⊙ c): ⊙ binds tighter.
+        a, b, c = STrav(R), RTrav(R), RAcc(R, r=3)
+        pattern = a + b * c
+        assert isinstance(pattern, Seq)
+        assert pattern.parts[0] == a
+        assert isinstance(pattern.parts[1], Conc)
+
+    def test_seq_flattens(self, R):
+        a, b, c = STrav(R), RTrav(R), RAcc(R, r=3)
+        assert (a + b + c).parts == (a, b, c)
+
+    def test_conc_flattens(self, R):
+        a, b, c = STrav(R), RTrav(R), RAcc(R, r=3)
+        assert (a * b * c).parts == (a, b, c)
+
+    def test_seq_does_not_flatten_into_conc(self, R):
+        a, b, c = STrav(R), RTrav(R), RAcc(R, r=3)
+        conc = Conc.of(Seq.of(a, b), c)
+        assert len(conc.parts) == 2
+
+    def test_regions_collected_in_order(self, R):
+        other = DataRegion("S", n=10, w=8)
+        pattern = STrav(R) * RTrav(other) + RAcc(R, r=2)
+        assert [r.name for r in pattern.regions()] == ["R", "S", "R"]
+
+    def test_empty_compound_rejected(self):
+        with pytest.raises(ValueError):
+            Seq([])
+
+    def test_non_pattern_part_rejected(self, R):
+        with pytest.raises(TypeError):
+            Seq([STrav(R), "not a pattern"])
+
+    def test_compound_equality(self, R):
+        a, b = STrav(R), RTrav(R)
+        assert Seq.of(a, b) == Seq.of(a, b)
+        assert Seq.of(a, b) != Seq.of(b, a)   # ⊕ is not commutative
+        assert Seq.of(a, b) != Conc.of(a, b)
+
+    def test_compound_hashable(self, R):
+        a, b = STrav(R), RTrav(R)
+        assert len({Seq.of(a, b), Seq.of(a, b)}) == 1

@@ -1,0 +1,135 @@
+"""Whole-query plans: execution correctness and derived costs."""
+
+import pytest
+
+from repro.core import CostModel, Seq
+from repro.db import Database, random_permutation, sorted_ints
+from repro.hardware import origin2000_scaled
+from repro.query import (
+    AggregateNode,
+    HashJoinNode,
+    MergeJoinNode,
+    QueryPlan,
+    ScanNode,
+    SelectNode,
+    SortNode,
+)
+
+
+@pytest.fixture
+def db(scaled):
+    return Database(scaled)
+
+
+class TestExecution:
+    def test_select_plan(self, db):
+        col = db.create_column("U", list(range(100)), width=8)
+        plan = QueryPlan(SelectNode(ScanNode(col), lambda v: v < 10,
+                                    selectivity=0.1))
+        out = plan.execute(db)
+        assert out.values == list(range(10))
+
+    def test_sort_plan(self, db):
+        col = db.create_column("U", random_permutation(128, seed=1), width=8)
+        plan = QueryPlan(SortNode(ScanNode(col)))
+        out = plan.execute(db)
+        assert out.values == list(range(128))
+
+    def test_sort_then_merge_join(self, db):
+        left = db.create_column("U", random_permutation(64, seed=2), width=8)
+        right = db.create_column("V", sorted_ints(64), width=8)
+        plan = QueryPlan(MergeJoinNode(SortNode(ScanNode(left)),
+                                       ScanNode(right)))
+        out = plan.execute(db)
+        assert len(out.values) == 64
+
+    def test_hash_join_plan(self, db):
+        left = db.create_column("U", random_permutation(64, seed=3), width=8)
+        right = db.create_column("V", random_permutation(64, seed=4), width=8)
+        plan = QueryPlan(HashJoinNode(ScanNode(left), ScanNode(right)))
+        out = plan.execute(db)
+        assert len(out.values) == 64
+
+    def test_select_join_aggregate_pipeline(self, db):
+        left = db.create_column("U", random_permutation(256, seed=5), width=8)
+        right = db.create_column("V", random_permutation(256, seed=6), width=8)
+        plan = QueryPlan(AggregateNode(
+            HashJoinNode(
+                SelectNode(ScanNode(left), lambda v: v % 2 == 0,
+                           selectivity=0.5),
+                ScanNode(right),
+            ),
+            groups=16,
+            key_of=lambda pair: pair[0] % 16,
+        ))
+        out = plan.execute(db)
+        assert sum(count for _, count in out.values) == 128
+
+    def test_bare_scan_has_no_pattern(self, db):
+        col = db.create_column("U", [1], width=8)
+        plan = QueryPlan(ScanNode(col))
+        with pytest.raises(ValueError):
+            plan.pattern()
+
+
+class TestCostDerivation:
+    def test_plan_pattern_is_operator_sequence(self, db):
+        left = db.create_column("U", sorted_ints(64), width=8)
+        right = db.create_column("V", sorted_ints(64), width=8)
+        plan = QueryPlan(MergeJoinNode(ScanNode(left), ScanNode(right)))
+        # Single operator: pattern is the operator's own.
+        assert plan.pattern() is not None
+
+    def test_multi_operator_plan_is_seq(self, db):
+        col = db.create_column("U", sorted_ints(64), width=8)
+        plan = QueryPlan(AggregateNode(SelectNode(ScanNode(col),
+                                                  lambda v: True,
+                                                  selectivity=1.0),
+                                       groups=8))
+        assert isinstance(plan.pattern(), Seq)
+
+    def test_selectivity_shrinks_downstream_cost(self, db, scaled):
+        model = CostModel(scaled)
+        col = db.create_column("U", list(range(4096)), width=8)
+
+        def plan_for(selectivity):
+            return QueryPlan(AggregateNode(
+                SelectNode(ScanNode(col), lambda v: True,
+                           selectivity=selectivity),
+                groups=8))
+
+        narrow = plan_for(0.1).estimate(model).memory_ns
+        wide = plan_for(1.0).estimate(model).memory_ns
+        assert narrow < wide
+
+    def test_estimate_tracks_execution(self, db, scaled):
+        """End-to-end: whole-plan predicted memory time within 2x of
+        the simulated execution."""
+        model = CostModel(scaled)
+        n = 2048
+        left = db.create_column("U", random_permutation(n, seed=7), width=8)
+        right = db.create_column("V", random_permutation(n, seed=8), width=8)
+        plan = QueryPlan(AggregateNode(
+            HashJoinNode(ScanNode(left), ScanNode(right)),
+            groups=32,
+            key_of=lambda pair: pair[0] % 32,
+        ))
+        predicted = plan.estimate(model).memory_ns
+        db.reset()
+        with db.measure() as res:
+            plan.execute(db)
+        measured = res[0].elapsed_ns
+        assert 0.5 * measured <= predicted <= 2.0 * measured
+
+    def test_explain_renders(self, db, scaled):
+        model = CostModel(scaled)
+        col = db.create_column("U", sorted_ints(64), width=8)
+        plan = QueryPlan(SelectNode(ScanNode(col), lambda v: True,
+                                    selectivity=1.0))
+        text = plan.explain(model)
+        assert "select" in text and "total" in text
+
+    def test_invalid_selectivity_rejected(self, db):
+        col = db.create_column("U", [1], width=8)
+        with pytest.raises(ValueError):
+            SelectNode(ScanNode(col), lambda v: True, selectivity=0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for data regions (paper Section 3.1)."""
+
+import pytest
+
+from repro.core import DataRegion
+
+
+class TestBasics:
+    def test_size(self):
+        assert DataRegion("R", n=1000, w=8).size == 8000
+
+    def test_lines_rounds_up(self):
+        assert DataRegion("R", n=10, w=10).lines(32) == 4  # 100 B / 32 B
+
+    def test_lines_exact_multiple(self):
+        assert DataRegion("R", n=4, w=8).lines(32) == 1
+
+    def test_items_fitting(self):
+        assert DataRegion("R", n=10, w=8).items_fitting(100) == 12
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            DataRegion("R", n=0, w=8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            DataRegion("R", n=1, w=0)
+
+    def test_lines_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            DataRegion("R", n=1, w=8).lines(0)
+
+
+class TestSubregions:
+    def test_subregion_parent_link(self):
+        r = DataRegion("R", n=100, w=8)
+        sub = r.subregion("S", n=50)
+        assert sub.parent is r
+        assert sub.w == 8
+
+    def test_subregion_larger_than_parent_rejected(self):
+        r = DataRegion("R", n=10, w=8)
+        with pytest.raises(ValueError):
+            r.subregion("S", n=20)
+
+    def test_halves_cover_parent(self):
+        r = DataRegion("R", n=101, w=8)
+        left, right = r.halves()
+        assert left.n + right.n == 101
+        assert left.parent is r and right.parent is r
+
+    def test_halves_of_single_item(self):
+        left, right = DataRegion("R", n=1, w=8).halves()
+        assert left.n == 1 and right.n == 1
+
+    def test_split_sizes(self):
+        parts = DataRegion("R", n=10, w=8).split(3)
+        assert [p.n for p in parts] == [4, 3, 3]
+
+    def test_split_all_parents(self):
+        r = DataRegion("R", n=10, w=8)
+        assert all(p.parent is r for p in r.split(5))
+
+    def test_split_more_than_items_rejected(self):
+        with pytest.raises(ValueError):
+            DataRegion("R", n=3, w=8).split(4)
+
+    def test_split_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DataRegion("R", n=3, w=8).split(0)
+
+
+class TestAncestry:
+    def test_ancestors_chain(self):
+        r = DataRegion("R", n=100, w=8)
+        s = r.subregion("S", n=50)
+        t = s.subregion("T", n=25)
+        assert [a.name for a in t.ancestors()] == ["T", "S", "R"]
+
+    def test_root(self):
+        r = DataRegion("R", n=100, w=8)
+        t = r.subregion("S", n=50).subregion("T", n=25)
+        assert t.root() is r
+
+    def test_is_within_self(self):
+        r = DataRegion("R", n=100, w=8)
+        assert r.is_within(r)
+
+    def test_is_within_grandparent(self):
+        r = DataRegion("R", n=100, w=8)
+        t = r.subregion("S", n=50).subregion("T", n=25)
+        assert t.is_within(r)
+
+    def test_not_within_sibling(self):
+        r = DataRegion("R", n=100, w=8)
+        a = r.subregion("A", n=50)
+        b = r.subregion("B", n=50)
+        assert not a.is_within(b)

@@ -1,0 +1,93 @@
+"""The experiment-result containers and rendering helpers."""
+
+import math
+
+import pytest
+
+from repro.validation import ExperimentResult, ExperimentRow, geometric_mean_ratio
+
+
+def make_result():
+    rows = [
+        ExperimentRow("a", measured={"L1": 100.0, "L2": 10.0},
+                      predicted={"L1": 120.0, "L2": 10.0}),
+        ExperimentRow("b", measured={"L1": 1000.0, "L2": 20.0},
+                      predicted={"L1": 500.0, "L2": 40.0}),
+    ]
+    return ExperimentResult("T1", "test experiment", "x", rows)
+
+
+class TestExperimentRow:
+    def test_ratio(self):
+        row = ExperimentRow("x", measured={"L1": 100.0},
+                            predicted={"L1": 150.0})
+        assert row.ratio("L1") == pytest.approx(1.5)
+
+    def test_ratio_zero_measured_nonzero_predicted(self):
+        row = ExperimentRow("x", measured={"L1": 0.0}, predicted={"L1": 5.0})
+        assert row.ratio("L1") == float("inf")
+
+    def test_ratio_both_zero(self):
+        row = ExperimentRow("x", measured={"L1": 0.0}, predicted={"L1": 0.0})
+        assert row.ratio("L1") == 1.0
+
+    def test_ratio_missing_key(self):
+        row = ExperimentRow("x", measured={}, predicted={})
+        assert row.ratio("L9") == 1.0
+
+
+class TestExperimentResult:
+    def test_level_keys_in_order(self):
+        result = make_result()
+        assert result.level_keys == ["L1", "L2"]
+
+    def test_render_contains_everything(self):
+        text = make_result().render()
+        assert "T1" in text
+        assert "L1 meas" in text and "L2 pred" in text
+        assert "a" in text and "b" in text
+
+    def test_render_formats_magnitudes(self):
+        row = ExperimentRow("x", measured={"v": 2_500_000.0},
+                            predicted={"v": 12_000.0})
+        result = ExperimentResult("T", "t", "x", [row])
+        text = result.render()
+        assert "2.50M" in text
+        assert "12.0k" in text
+
+    def test_max_ratio_error_in_log2(self):
+        result = make_result()
+        # Worst row: predicted 500 vs measured 1000 -> |log2(0.5)| = 1.
+        assert result.max_ratio_error("L1") == pytest.approx(1.0)
+
+    def test_max_ratio_error_skips_small_counts(self):
+        result = make_result()
+        # L2 rows are 10/20 measured; with skip_small=16 only the second
+        # row (ratio 2) counts.
+        assert result.max_ratio_error("L2", skip_small=16.0) == pytest.approx(1.0)
+        # Raising the floor above every measurement ignores all rows.
+        assert result.max_ratio_error("L2", skip_small=100.0) == 0.0
+
+
+class TestGeometricMean:
+    def test_balanced_ratios_cancel(self):
+        rows = [
+            ExperimentRow("a", measured={"v": 100.0}, predicted={"v": 200.0}),
+            ExperimentRow("b", measured={"v": 100.0}, predicted={"v": 50.0}),
+        ]
+        assert geometric_mean_ratio(rows, "v") == pytest.approx(1.0)
+
+    def test_systematic_bias_detected(self):
+        rows = [
+            ExperimentRow(str(i), measured={"v": 100.0},
+                          predicted={"v": 150.0})
+            for i in range(5)
+        ]
+        assert geometric_mean_ratio(rows, "v") == pytest.approx(1.5)
+
+    def test_empty_series_defaults_to_one(self):
+        assert geometric_mean_ratio([], "v") == 1.0
+
+    def test_small_measurements_skipped(self):
+        rows = [ExperimentRow("a", measured={"v": 1.0}, predicted={"v": 99.0})]
+        assert geometric_mean_ratio(rows, "v", skip_small=16.0) == 1.0
