@@ -1,0 +1,78 @@
+"""Cost-driven query optimization, end to end.
+
+Builds a three-relation logical query (orders ⋈ customers ⋈ nations,
+grouped by join key), lets the optimizer enumerate join orders and
+per-operator implementations, prices every candidate with the derived
+pipeline-aware cost functions, then executes the chosen plan — and a
+deliberately worse one — on the simulated machine to show the ranking
+holds.
+
+Run:  PYTHONPATH=src python examples/optimize_query.py
+"""
+
+from repro.core import CostModel
+from repro.db import Database, random_permutation
+from repro.hardware import origin2000_scaled
+from repro.query import (
+    Aggregate,
+    Join,
+    Optimizer,
+    PlannerConfig,
+    Relation,
+)
+
+
+def main() -> None:
+    hierarchy = origin2000_scaled()
+    model = CostModel(hierarchy)
+    db = Database(hierarchy)
+    n = 2048
+    orders = db.create_column("orders", random_permutation(n, seed=1), width=8)
+    customers = db.create_column("customers", random_permutation(n, seed=2),
+                                 width=8)
+    nations = db.create_column("nations", list(range(256)), width=8)
+
+    # SELECT key, COUNT(*) FROM orders ⋈ customers ⋈ nations GROUP BY key
+    logical = Aggregate(
+        Join(Join(Relation.of_column(orders), Relation.of_column(customers)),
+             Relation.of_column(nations)),
+        groups=256,
+    )
+    print("logical query:")
+    print(logical.describe(1))
+
+    optimizer = Optimizer(hierarchy,
+                          PlannerConfig(include_nested_loop=True))
+    planned = optimizer.optimize(logical)
+    print()
+    print(planned.summary(6))
+    print(f"\npredicted spread: worst / best = "
+          f"{planned.worst.total_ns / planned.best.total_ns:.1f}x")
+
+    print("\nchosen plan:")
+    print(planned.best.plan.explain(model))
+
+    base_values = {col: list(col.values)
+                   for col in (orders, customers, nations)}
+
+    def run(candidate):
+        out, snapshot = db.execute_measured(candidate.plan)
+        for col, values in base_values.items():
+            col.values = list(values)
+        return snapshot.elapsed_ns, len(out.values)
+
+    mid = planned.candidates[len(planned) // 2]
+    print("\nexecuting on the simulator:")
+    for name, cand in (("chosen", planned.best), ("mid-ranked", mid)):
+        measured, groups = run(cand)
+        print(f"  {name:<11} predicted {cand.total_ns / 1e3:>9.1f} us   "
+              f"measured T_mem {measured / 1e3:>9.1f} us   "
+              f"({groups} groups)  {cand.signature}")
+
+    print("\nthe enumerator prices every join order and implementation "
+          "before running anything —\nexactly the optimizer loop the "
+          "paper builds its cost models for.")
+
+
+if __name__ == "__main__":
+    main()

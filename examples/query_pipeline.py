@@ -11,10 +11,15 @@ from repro.core import CostModel
 from repro.db import Database, random_permutation
 from repro.hardware import origin2000_scaled
 from repro.query import (
+    Aggregate,
     AggregateNode,
+    Filter,
     HashJoinNode,
+    Join,
     MergeJoinNode,
+    Optimizer,
     QueryPlan,
+    Relation,
     ScanNode,
     SelectNode,
     SortNode,
@@ -66,6 +71,22 @@ def main() -> None:
 
     print("the model prices both plans before running anything — "
           "exactly what the paper builds cost models for.")
+
+    # What would the optimizer have chosen?  Grouping by join key
+    # (key_of=None) keeps the query invariant under join reordering, so
+    # the enumerator is free to pick sides and implementations.  (With
+    # the positional key_of above it would pin the hand-built shape —
+    # see examples/optimize_query.py for the full workflow.)
+    logical = Aggregate(
+        Join(Filter(Relation.of_column(orders), lambda v: v % 2 == 0,
+                    selectivity=0.5),
+             Relation.of_column(customers)),
+        groups=n // 2,
+    )
+    planned = Optimizer(hierarchy).optimize(logical)
+    print(f"\noptimizer's choice among {len(planned)} candidates: "
+          f"{planned.best.signature} "
+          f"({planned.best.total_ns / 1e3:.1f} us predicted)")
 
 
 if __name__ == "__main__":

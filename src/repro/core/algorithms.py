@@ -41,6 +41,7 @@ __all__ = [
     "select_pattern",
     "project_pattern",
     "hash_table_region",
+    "hash_capacity",
     "hash_build_pattern",
     "hash_probe_pattern",
     "hash_join_pattern",
@@ -51,14 +52,42 @@ __all__ = [
     "quick_sort_pattern",
     "sort_aggregate_pattern",
     "hash_aggregate_pattern",
+    "hash_aggregate_phases",
     "duplicate_elimination_pattern",
     "merge_union_pattern",
     "TABLE2",
     "Table2Row",
+    "DEFAULT_HASH_MAX_LOAD",
 ]
 
 #: Default bytes per hash-table entry (key + payload/oid).
 DEFAULT_HASH_ENTRY_WIDTH = 16
+
+#: Default load-factor bound for hash structures.  The engine's
+#: open-addressing tables (``db.hashtable``, ``db.aggregate``) size their
+#: slot arrays to the smallest power of two keeping the load at or below
+#: this bound; cost descriptions that should match those executions round
+#: the same way (pass ``max_load=DEFAULT_HASH_MAX_LOAD`` to
+#: :func:`hash_table_region`).
+DEFAULT_HASH_MAX_LOAD = 0.5
+
+
+def hash_capacity(n: int, max_load: float = DEFAULT_HASH_MAX_LOAD) -> int:
+    """The engine's capacity-rounding policy for hash structures.
+
+    The smallest power of two ``c`` with ``c * max_load >= n`` — i.e. the
+    slot count that keeps the load factor at or below ``max_load``.  This
+    is the single source of truth used by the simulated hash table, the
+    hash aggregate's group table, and the plan nodes' hash regions.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 < max_load <= 1.0:
+        raise ValueError("max_load must be in (0, 1]")
+    capacity = 1
+    while capacity * max_load < n:
+        capacity *= 2
+    return capacity
 
 
 # ----------------------------------------------------------------------
@@ -117,9 +146,19 @@ def quick_sort_pattern(U: DataRegion, stop_bytes: int | None = None) -> Pattern:
 # ----------------------------------------------------------------------
 
 def hash_table_region(V: DataRegion,
-                      entry_width: int = DEFAULT_HASH_ENTRY_WIDTH) -> DataRegion:
-    """The hash-table region ``H`` for an input ``V`` (one entry/item)."""
-    return DataRegion(name=f"H({V.name})", n=V.n, w=entry_width)
+                      entry_width: int = DEFAULT_HASH_ENTRY_WIDTH,
+                      max_load: float | None = None,
+                      name: str | None = None) -> DataRegion:
+    """The hash-table region ``H`` for an input ``V``.
+
+    With the default ``max_load=None`` the region has one entry per item
+    (the paper's abstract description).  Passing a load bound applies the
+    engine's explicit capacity-rounding policy (:func:`hash_capacity`):
+    slot count is the smallest power of two keeping the load at or below
+    the bound, matching what ``db.SimHashTable`` actually allocates.
+    """
+    n = V.n if max_load is None else hash_capacity(V.n, max_load)
+    return DataRegion(name=name or f"H({V.name})", n=n, w=entry_width)
 
 
 def hash_build_pattern(V: DataRegion, H: DataRegion) -> Pattern:
@@ -220,10 +259,24 @@ def sort_aggregate_pattern(U: DataRegion, W: DataRegion,
     return quick_sort_pattern(U, stop_bytes) + (STrav(U) * STrav(W))
 
 
+def hash_aggregate_phases(U: DataRegion, G: DataRegion,
+                          W: DataRegion) -> tuple[Pattern, Pattern]:
+    """The two phases of hash aggregation, separately.
+
+    Phase 1 consumes the input (sequential input cursor, one random
+    group-table hit per item); phase 2 emits the group results.  Exposed
+    separately so pipeline-aware plan composition can ``⊙``-combine a
+    producer's stream with phase 1 only (phase 2 cannot start before the
+    last input item arrived).
+    """
+    return (STrav(U) * RAcc(G, r=U.n), STrav(G) * STrav(W))
+
+
 def hash_aggregate_pattern(U: DataRegion, G: DataRegion, W: DataRegion) -> Pattern:
     """Hash-based aggregation: sequential input, one random hit into the
     group table per item, sequential output of group results."""
-    return (STrav(U) * RAcc(G, r=U.n)) + (STrav(G) * STrav(W))
+    consume, emit = hash_aggregate_phases(U, G, W)
+    return consume + emit
 
 
 def duplicate_elimination_pattern(U: DataRegion, H: DataRegion,

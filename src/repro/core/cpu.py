@@ -1,0 +1,58 @@
+"""Shared pure-CPU cost calibration (paper Eq. 6.1).
+
+The paper splits total execution time into ``T = T_mem + T_cpu``; the
+memory term is derived automatically from access patterns, while the CPU
+term is a calibrated cycles-per-item constant per algorithm.  This module
+is the single home of those constants so the advisor layer
+(:mod:`repro.optimizer`) and the plan layer (:mod:`repro.query`) price
+CPU work identically instead of each keeping its own copy.
+
+The defaults are deliberately coarse — the interesting crossovers are
+driven by the memory term — but they matter for rankings that include
+nested-loop joins, whose quadratic comparison count is pure CPU.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..hardware.hierarchy import MemoryHierarchy
+
+__all__ = [
+    "CPU_CYCLES_PER_ITEM",
+    "cpu_cycles",
+    "cpu_ns",
+    "sort_depth",
+]
+
+#: Calibrated pure-CPU cost constants (cycles per processed item).
+CPU_CYCLES_PER_ITEM = {
+    # joins (per input item unless noted)
+    "merge_join": 8.0,
+    "hash_join": 30.0,
+    "partitioned_hash_join": 40.0,   # includes the partitioning passes
+    "nested_loop_join": 4.0,         # per inner comparison
+    # unary operators (a bare scan is folded into its consumer's input
+    # sweep, so it carries no constant of its own)
+    "sort": 12.0,                    # per item per recursion level
+    "select": 6.0,                   # predicate evaluation + copy
+    "project": 4.0,
+    # aggregation
+    "hash_aggregate": 24.0,          # hash + group update, per input item
+    "aggregate_pass": 4.0,           # post-sort sequential grouping pass
+}
+
+
+def sort_depth(n: int) -> int:
+    """Expected quick-sort recursion depth for ``n`` items."""
+    return math.ceil(math.log2(max(2, n)))
+
+
+def cpu_cycles(algorithm: str, items: float) -> float:
+    """Calibrated CPU cycles for processing ``items`` items."""
+    return CPU_CYCLES_PER_ITEM[algorithm] * items
+
+
+def cpu_ns(hierarchy: MemoryHierarchy, algorithm: str, items: float) -> float:
+    """Calibrated CPU time in nanoseconds on ``hierarchy``'s clock."""
+    return hierarchy.nanoseconds(cpu_cycles(algorithm, items))

@@ -7,6 +7,7 @@ patterns; both variants are provided.
 
 from __future__ import annotations
 
+from ..core.algorithms import hash_capacity
 from .column import Column
 from .context import Database
 from .hashtable import ENTRY_WIDTH, SimHashTable
@@ -31,10 +32,8 @@ def hash_aggregate(db: Database, col: Column, groups_hint: int | None = None,
     """
     mem = db.mem
     extract = key_of or (lambda value: value)
-    hint = groups_hint or col.n
-    capacity = 1
-    while capacity < hint * 2:
-        capacity *= 2
+    hint = groups_hint or max(1, col.n)
+    capacity = hash_capacity(hint)
     mask = capacity - 1
     address = db.allocator.allocate(capacity * ENTRY_WIDTH, alignment=ENTRY_WIDTH)
     keys: list = [None] * capacity
@@ -75,7 +74,7 @@ def sort_aggregate(db: Database, col: Column,
     """Group-count by sorting in place, then one sequential pass."""
     mem = db.mem
     quick_sort(db, col)
-    out = db.allocate_column(output_name, n=col.n, width=ENTRY_WIDTH,
+    out = db.allocate_column(output_name, n=max(1, col.n), width=ENTRY_WIDTH,
                              fill=(0, 0))
     emitted = 0
     current = None
@@ -102,8 +101,8 @@ def hash_distinct(db: Database, col: Column,
     """Duplicate elimination via hashing: one random table hit per item,
     sequential output of first occurrences."""
     mem = db.mem
-    table = SimHashTable(db, n=col.n, name=f"D({col.name})")
-    out = db.allocate_column(output_name, n=col.n, width=col.width)
+    table = SimHashTable(db, n=max(1, col.n), name=f"D({col.name})")
+    out = db.allocate_column(output_name, n=max(1, col.n), width=col.width)
     emitted = 0
     for i in range(col.n):
         value = col.read(mem, i)
@@ -120,7 +119,7 @@ def sort_distinct(db: Database, col: Column,
     """Duplicate elimination by sorting in place, then one pass."""
     mem = db.mem
     quick_sort(db, col)
-    out = db.allocate_column(output_name, n=col.n, width=col.width)
+    out = db.allocate_column(output_name, n=max(1, col.n), width=col.width)
     emitted = 0
     previous = None
     for i in range(col.n):

@@ -51,6 +51,30 @@ class Database:
         return self.create_column(name, [fill] * n, width=width, alignment=alignment)
 
     # ------------------------------------------------------------------
+    def execute(self, plan) -> Column:
+        """Run a physical plan (a :class:`~repro.query.QueryPlan` or any
+        plan node) against this database and return its result column.
+
+        The executor entry point: plans are duck-typed (anything with an
+        ``execute(db)`` method), so the db layer needs no dependency on
+        the query layer."""
+        return plan.execute(self)
+
+    def execute_measured(self, plan,
+                         cold: bool = True) -> "tuple[Column, CounterSnapshot]":
+        """Run a plan and return ``(result, counter delta)``.
+
+        ``cold=True`` (the default) resets caches and counters first, so
+        the delta is the plan's full cold-cache cost — the setting the
+        model's empty-initial-state assumption (Section 4.5) describes.
+        """
+        if cold:
+            self.reset()
+        with self.measure() as result:
+            out = plan.execute(self)
+        return out, result[0]
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         """Cold caches and zeroed counters (address space is kept)."""
         self.mem.reset()

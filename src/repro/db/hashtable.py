@@ -14,6 +14,7 @@ two at or above ``n / max_load``.
 
 from __future__ import annotations
 
+from ..core.algorithms import hash_capacity
 from ..core.regions import DataRegion
 from .column import Column
 from .context import Database
@@ -43,13 +44,7 @@ class SimHashTable:
 
     def __init__(self, db: Database, n: int, max_load: float = 0.5,
                  name: str = "H") -> None:
-        if n < 1:
-            raise ValueError("n must be positive")
-        if not 0.0 < max_load <= 1.0:
-            raise ValueError("max_load must be in (0, 1]")
-        capacity = 1
-        while capacity * max_load < n:
-            capacity *= 2
+        capacity = hash_capacity(n, max_load)
         self.db = db
         self.name = name
         self.capacity = capacity

@@ -1,5 +1,27 @@
 """Cost-based algorithm selection built on the derived cost functions."""
 
-from .advisor import CPU_CYCLES_PER_ITEM, JoinAdvisor, JoinChoice
+from .advisor import (
+    CPU_CYCLES_PER_ITEM,
+    AdvisorRegistry,
+    AggregateAdvisor,
+    JoinAdvisor,
+    JoinChoice,
+    JoinSpec,
+    OperatorAdvisor,
+    OperatorChoice,
+    SortAdvisor,
+    default_registry,
+)
 
-__all__ = ["JoinAdvisor", "JoinChoice", "CPU_CYCLES_PER_ITEM"]
+__all__ = [
+    "OperatorAdvisor",
+    "OperatorChoice",
+    "JoinAdvisor",
+    "JoinChoice",
+    "JoinSpec",
+    "SortAdvisor",
+    "AggregateAdvisor",
+    "AdvisorRegistry",
+    "default_registry",
+    "CPU_CYCLES_PER_ITEM",
+]

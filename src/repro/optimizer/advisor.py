@@ -1,15 +1,25 @@
 """Cost-based algorithm selection (the paper's motivating use-case).
 
 "The query optimizer uses this information to choose the most suitable
-algorithm and/or implementation for each operator" (Section 1).  The
-advisor enumerates the implementations of an operator, derives each one's
-cost with the automatically combined cost functions, and returns the
-ranking.  The logical component (cardinalities) is assumed perfect, as in
-the paper ("we assume a perfect oracle to predict the data volumes").
+algorithm and/or implementation for each operator" (Section 1).  An
+*operator advisor* enumerates the implementations of one operator kind,
+derives each one's cost with the automatically combined cost functions,
+and returns the ranking; the :class:`AdvisorRegistry` collects one
+advisor per operator kind (join, sort, aggregate) for the plan
+enumerator (:mod:`repro.query.optimizer`) to look up.  Each kind has
+its own consultation surface — the enumerator calls
+``JoinAdvisor.candidate_specs(U, V, ...)``,
+``SortAdvisor.stop_bytes()`` and
+``AggregateAdvisor.candidate_specs(composite_input=...)`` — so a
+replacement advisor registered for a kind must match that kind's
+signatures.  The logical component (cardinalities) is assumed perfect,
+as in the paper ("we assume a perfect oracle to predict the data
+volumes").
 
-Pure CPU cost is modelled per algorithm as calibrated
-cycles-per-item constants (Eq. 6.1); the defaults are deliberately
-coarse — the interesting crossovers are driven by the memory term.
+Pure CPU cost is modelled per algorithm as calibrated cycles-per-item
+constants (Eq. 6.1), shared with the plan layer via
+:mod:`repro.core.cpu`; the defaults are deliberately coarse — the
+interesting crossovers are driven by the memory term.
 """
 
 from __future__ import annotations
@@ -18,6 +28,8 @@ import math
 from dataclasses import dataclass
 
 from ..core.algorithms import (
+    DEFAULT_HASH_MAX_LOAD,
+    hash_aggregate_pattern,
     hash_join_pattern,
     hash_table_region,
     merge_join_pattern,
@@ -25,21 +37,38 @@ from ..core.algorithms import (
     partition_pattern,
     partitioned_hash_join_pattern,
     quick_sort_pattern,
+    sort_aggregate_pattern,
 )
 from ..core.cost import CostEstimate, CostModel
+from ..core.cpu import CPU_CYCLES_PER_ITEM, cpu_ns, sort_depth
 from ..core.regions import DataRegion
 from ..hardware.hierarchy import MemoryHierarchy
 
-__all__ = ["JoinChoice", "JoinAdvisor", "CPU_CYCLES_PER_ITEM"]
+__all__ = [
+    "OperatorAdvisor",
+    "OperatorChoice",
+    "JoinChoice",
+    "JoinSpec",
+    "JoinAdvisor",
+    "SortAdvisor",
+    "AggregateAdvisor",
+    "AdvisorRegistry",
+    "default_registry",
+    "CPU_CYCLES_PER_ITEM",
+]
 
-#: Calibrated pure-CPU cost constants (cycles per processed item).
-CPU_CYCLES_PER_ITEM = {
-    "merge_join": 8.0,
-    "hash_join": 30.0,
-    "partitioned_hash_join": 40.0,
-    "nested_loop_join": 4.0,   # per inner comparison
-    "sort": 12.0,              # per item per recursion level
-}
+
+@dataclass(frozen=True)
+class OperatorChoice:
+    """One scored implementation of some operator."""
+
+    operator: str
+    algorithm: str
+    estimate: CostEstimate
+
+    @property
+    def total_ns(self) -> float:
+        return self.estimate.total_ns
 
 
 @dataclass(frozen=True)
@@ -54,7 +83,36 @@ class JoinChoice:
         return self.estimate.total_ns
 
 
-class JoinAdvisor:
+@dataclass(frozen=True)
+class JoinSpec:
+    """A join implementation candidate the plan enumerator can build:
+    the algorithm name plus injected parameters (partition count)."""
+
+    algorithm: str
+    partitions: int | None = None
+
+
+class OperatorAdvisor:
+    """Base class: scores the implementations of one operator kind.
+
+    Parameters
+    ----------
+    hierarchy:
+        Machine profile used for cost derivation.
+    """
+
+    #: Operator kind this advisor covers (registry key).
+    operator: str = "?"
+
+    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+        self.hierarchy = hierarchy
+        self.model = CostModel(hierarchy)
+
+    def _min_cache_bytes(self) -> int:
+        return min(l.capacity for l in self.hierarchy.all_levels)
+
+
+class JoinAdvisor(OperatorAdvisor):
     """Scores join implementations with the cost model.
 
     Parameters
@@ -66,35 +124,34 @@ class JoinAdvisor:
         charged two quick-sorts in addition to the merge.
     """
 
+    operator = "join"
+
     def __init__(self, hierarchy: MemoryHierarchy,
                  inputs_sorted: bool = False) -> None:
-        self.hierarchy = hierarchy
-        self.model = CostModel(hierarchy)
+        super().__init__(hierarchy)
         self.inputs_sorted = inputs_sorted
-        self._min_capacity = min(l.capacity for l in hierarchy.all_levels)
+        self._min_capacity = self._min_cache_bytes()
 
     # ------------------------------------------------------------------
-    def _cycles_ns(self, cycles: float) -> float:
-        return self.hierarchy.nanoseconds(cycles)
-
     def merge_join_choice(self, U: DataRegion, V: DataRegion,
                           W: DataRegion) -> JoinChoice:
         pattern = merge_join_pattern(U, V, W)
-        cpu = self._cycles_ns(CPU_CYCLES_PER_ITEM["merge_join"] * (U.n + V.n))
+        cpu = cpu_ns(self.hierarchy, "merge_join", U.n + V.n)
         if not self.inputs_sorted:
             pattern = (quick_sort_pattern(U, self._min_capacity)
                        + quick_sort_pattern(V, self._min_capacity)
                        + pattern)
             depth = math.ceil(math.log2(max(2, max(U.n, V.n))))
-            cpu += self._cycles_ns(
-                CPU_CYCLES_PER_ITEM["sort"] * (U.n + V.n) * depth
-            )
+            cpu += cpu_ns(self.hierarchy, "sort", (U.n + V.n) * depth)
         return JoinChoice("merge_join", self.model.estimate(pattern, cpu_ns=cpu))
 
     def hash_join_choice(self, U: DataRegion, V: DataRegion,
                          W: DataRegion) -> JoinChoice:
-        pattern = hash_join_pattern(U, V, W)
-        cpu = self._cycles_ns(CPU_CYCLES_PER_ITEM["hash_join"] * (U.n + V.n))
+        # Price the capacity-rounded table the engine actually builds,
+        # consistent with recommend_partitions and the plan layer.
+        H = hash_table_region(V, max_load=DEFAULT_HASH_MAX_LOAD)
+        pattern = hash_join_pattern(U, V, W, H=H)
+        cpu = cpu_ns(self.hierarchy, "hash_join", U.n + V.n)
         return JoinChoice("hash_join", self.model.estimate(pattern, cpu_ns=cpu))
 
     def partitioned_hash_join_choice(self, U: DataRegion, V: DataRegion,
@@ -103,22 +160,24 @@ class JoinAdvisor:
         m = m or self.recommend_partitions(V)
         out_U = DataRegion(f"P({U.name})", n=U.n, w=U.w)
         out_V = DataRegion(f"P({V.name})", n=V.n, w=V.w)
+        V_parts = out_V.split(m)
+        H_regions = tuple(
+            hash_table_region(v, max_load=DEFAULT_HASH_MAX_LOAD)
+            for v in V_parts
+        )
         pattern = (partition_pattern(U, out_U, m)
                    + partition_pattern(V, out_V, m)
                    + partitioned_hash_join_pattern(
-                       out_U.split(m), out_V.split(m), W.split(m)))
-        cpu = self._cycles_ns(
-            CPU_CYCLES_PER_ITEM["partitioned_hash_join"] * (U.n + V.n)
-        )
+                       out_U.split(m), V_parts, W.split(m),
+                       H_regions=H_regions))
+        cpu = cpu_ns(self.hierarchy, "partitioned_hash_join", U.n + V.n)
         return JoinChoice("partitioned_hash_join",
                           self.model.estimate(pattern, cpu_ns=cpu))
 
     def nested_loop_join_choice(self, U: DataRegion, V: DataRegion,
                                 W: DataRegion) -> JoinChoice:
         pattern = nested_loop_join_pattern(U, V, W)
-        cpu = self._cycles_ns(
-            CPU_CYCLES_PER_ITEM["nested_loop_join"] * U.n * V.n
-        )
+        cpu = cpu_ns(self.hierarchy, "nested_loop_join", U.n * V.n)
         return JoinChoice("nested_loop_join",
                           self.model.estimate(pattern, cpu_ns=cpu))
 
@@ -128,15 +187,34 @@ class JoinAdvisor:
         """Smallest partition count that makes each per-partition hash
         table cache-resident (the paper's partitioned-hash-join design
         rule), bounded by the number of cache lines so partitioning
-        itself stays cheap (Figure 7d's constraint)."""
+        itself stays cheap (Figure 7d's constraint).
+
+        Sized from the capacity-rounded table the engine actually
+        allocates (one shared :func:`~repro.core.hash_capacity` policy),
+        not the abstract one-entry-per-item region."""
         levels = self.hierarchy.levels
         level = levels[-1] if target_level is None else self.hierarchy.level(target_level)
-        table_bytes = hash_table_region(V).size
+        table_bytes = hash_table_region(
+            V, max_load=DEFAULT_HASH_MAX_LOAD).size
         m = 1
         while table_bytes / m > level.capacity:
             m *= 2
         max_m = max(1, min(lvl.num_lines for lvl in self.hierarchy.all_levels))
         return min(m, max_m)
+
+    def candidate_specs(self, U: DataRegion, V: DataRegion,
+                        include_nested_loop: bool = False) -> list[JoinSpec]:
+        """The implementation candidates a plan enumerator should try
+        for these operands, with parameters (partition count) injected.
+        Partitioning is offered only when the un-partitioned hash table
+        would not be cache-resident (``m > 1``)."""
+        specs = [JoinSpec("merge_join"), JoinSpec("hash_join")]
+        m = self.recommend_partitions(V)
+        if m > 1:
+            specs.append(JoinSpec("partitioned_hash_join", partitions=m))
+        if include_nested_loop:
+            specs.append(JoinSpec("nested_loop_join"))
+        return specs
 
     def rank(self, U: DataRegion, V: DataRegion, W: DataRegion,
              include_nested_loop: bool = False) -> list[JoinChoice]:
@@ -154,3 +232,113 @@ class JoinAdvisor:
              include_nested_loop: bool = False) -> JoinChoice:
         """The cheapest implementation."""
         return self.rank(U, V, W, include_nested_loop)[0]
+
+
+class SortAdvisor(OperatorAdvisor):
+    """Scores sorting (one implementation: in-place quick-sort) and
+    supplies the cache-pruning bound the plan layer injects into
+    quick-sort patterns."""
+
+    operator = "sort"
+
+    def stop_bytes(self) -> int:
+        """Sub-tables at or below this size are fully cache-resident on
+        the smallest cache; deeper quick-sort passes are free."""
+        return self._min_cache_bytes()
+
+    def quick_sort_choice(self, U: DataRegion) -> OperatorChoice:
+        pattern = quick_sort_pattern(U, stop_bytes=self.stop_bytes())
+        cpu = cpu_ns(self.hierarchy, "sort", U.n * sort_depth(U.n))
+        return OperatorChoice("sort", "quick_sort",
+                              self.model.estimate(pattern, cpu_ns=cpu))
+
+    def rank(self, U: DataRegion) -> list[OperatorChoice]:
+        return [self.quick_sort_choice(U)]
+
+    def best(self, U: DataRegion) -> OperatorChoice:
+        return self.rank(U)[0]
+
+
+class AggregateAdvisor(OperatorAdvisor):
+    """Scores aggregation implementations (hash vs. sort-based)."""
+
+    operator = "aggregate"
+
+    def _output_region(self, groups: int) -> DataRegion:
+        return DataRegion("agg", n=max(1, groups), w=16)
+
+    def hash_choice(self, U: DataRegion, groups: int) -> OperatorChoice:
+        G = hash_table_region(DataRegion("G", n=max(1, groups), w=16),
+                              max_load=DEFAULT_HASH_MAX_LOAD, name="G")
+        pattern = hash_aggregate_pattern(U, G, self._output_region(groups))
+        cpu = cpu_ns(self.hierarchy, "hash_aggregate", U.n)
+        return OperatorChoice("aggregate", "hash_aggregate",
+                              self.model.estimate(pattern, cpu_ns=cpu))
+
+    def sort_choice(self, U: DataRegion, groups: int) -> OperatorChoice:
+        pattern = sort_aggregate_pattern(U, self._output_region(groups),
+                                         stop_bytes=self._min_cache_bytes())
+        cpu = (cpu_ns(self.hierarchy, "sort", U.n * sort_depth(U.n))
+               + cpu_ns(self.hierarchy, "aggregate_pass", U.n))
+        return OperatorChoice("aggregate", "sort_aggregate",
+                              self.model.estimate(pattern, cpu_ns=cpu))
+
+    def candidate_specs(self, composite_input: bool = False) -> list[str]:
+        """Implementation names to try.  Sort-based aggregation groups
+        on the raw stored values, so it is not applicable to composite
+        (join-pair) inputs."""
+        specs = ["hash_aggregate"]
+        if not composite_input:
+            specs.append("sort_aggregate")
+        return specs
+
+    def rank(self, U: DataRegion, groups: int,
+             composite_input: bool = False) -> list[OperatorChoice]:
+        """All applicable implementations, cheapest first."""
+        choices = [self.hash_choice(U, groups)]
+        if not composite_input:
+            choices.append(self.sort_choice(U, groups))
+        return sorted(choices, key=lambda c: c.total_ns)
+
+    def best(self, U: DataRegion, groups: int,
+             composite_input: bool = False) -> OperatorChoice:
+        return self.rank(U, groups, composite_input)[0]
+
+
+class AdvisorRegistry:
+    """Per-operator-kind advisor lookup, consulted by the plan
+    enumerator for implementation candidates and their parameters."""
+
+    def __init__(self, advisors: tuple[OperatorAdvisor, ...] = ()) -> None:
+        self._by_operator: dict[str, OperatorAdvisor] = {}
+        for advisor in advisors:
+            self.register(advisor)
+
+    def register(self, advisor: OperatorAdvisor) -> "AdvisorRegistry":
+        self._by_operator[advisor.operator] = advisor
+        return self
+
+    def advisor(self, operator: str) -> OperatorAdvisor:
+        try:
+            return self._by_operator[operator]
+        except KeyError:
+            raise KeyError(
+                f"no advisor registered for operator {operator!r} "
+                f"(have: {sorted(self._by_operator)})"
+            ) from None
+
+    def operators(self) -> list[str]:
+        return sorted(self._by_operator)
+
+    def __contains__(self, operator: str) -> bool:
+        return operator in self._by_operator
+
+
+def default_registry(hierarchy: MemoryHierarchy,
+                     inputs_sorted: bool = False) -> AdvisorRegistry:
+    """The standard advisor set: join, sort and aggregate."""
+    return AdvisorRegistry((
+        JoinAdvisor(hierarchy, inputs_sorted=inputs_sorted),
+        SortAdvisor(hierarchy),
+        AggregateAdvisor(hierarchy),
+    ))

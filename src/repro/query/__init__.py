@@ -1,24 +1,64 @@
-"""Whole-query composition: physical plans whose cost functions are the
-⊕-combination of their operators' patterns (paper Section 6)."""
+"""Whole-query optimization and composition (paper Sections 1 and 6).
 
-from .plan import (
+Three layers:
+
+* :mod:`repro.query.logical` — what to compute (relational algebra with
+  a cardinality oracle),
+* :mod:`repro.query.physical` — how to compute it (operator nodes whose
+  whole-plan cost function is the ``⊕``/``⊙`` combination of their
+  access patterns, pipeline-aware per Section 3.3),
+* :mod:`repro.query.optimizer` — which plan to pick (join ordering and
+  per-operator implementation selection by derived cost).
+"""
+
+from .logical import Aggregate, Filter, Join, LogicalOp, Relation, Sort
+from .optimizer import (
+    Optimizer,
+    PlanCandidate,
+    PlannedQuery,
+    PlannerConfig,
+    plan_signature,
+)
+from .physical import (
     AggregateNode,
     HashJoinNode,
     MergeJoinNode,
+    NestedLoopJoinNode,
+    PartitionedHashJoinNode,
     PlanNode,
+    ProjectNode,
     QueryPlan,
     ScanNode,
     SelectNode,
+    SortAggregateNode,
     SortNode,
 )
 
 __all__ = [
+    # logical algebra
+    "LogicalOp",
+    "Relation",
+    "Filter",
+    "Join",
+    "Sort",
+    "Aggregate",
+    # physical operators
     "PlanNode",
     "ScanNode",
     "SelectNode",
+    "ProjectNode",
     "SortNode",
     "MergeJoinNode",
     "HashJoinNode",
+    "NestedLoopJoinNode",
+    "PartitionedHashJoinNode",
     "AggregateNode",
+    "SortAggregateNode",
     "QueryPlan",
+    # optimizer
+    "Optimizer",
+    "PlannerConfig",
+    "PlanCandidate",
+    "PlannedQuery",
+    "plan_signature",
 ]

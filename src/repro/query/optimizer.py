@@ -1,0 +1,471 @@
+"""Cost-driven plan enumeration: logical algebra in, physical plan out.
+
+The optimizer closes the loop the paper motivates in its introduction:
+the derived cost functions exist so that "the query optimizer [can]
+choose the most suitable algorithm and/or implementation for each
+operator".  Given a logical tree (:mod:`repro.query.logical`), it
+
+* enumerates **join orders** (all binary association trees over the
+  flattened n-way join — exhaustively for small queries, by dynamic
+  programming over relation subsets beyond that),
+* selects an **implementation per operator** by consulting the
+  :class:`~repro.optimizer.AdvisorRegistry` (merge vs. hash vs.
+  partitioned hash vs. nested-loop join; hash vs. sort aggregation),
+* places **sort-ahead** operators where a merge join needs order it
+  does not have, injects **partition counts** for partitioned hash
+  joins, and inserts key **projections** between joins,
+
+and ranks every candidate by :meth:`CostModel.estimate
+<repro.core.CostModel.estimate>` applied to the candidate's whole-plan
+access pattern — pipeline-aware (``⊙`` across pipelined edges) by
+default — plus the shared per-operator CPU calibration.
+
+The dynamic program keeps, per relation subset, the cheapest sub-plan
+for each *interesting order* (sorted / unsorted output), pricing
+sub-plans standalone; because ``⊕``-combination threads cache state
+across operators, this is a (standard) heuristic relative to exhaustive
+whole-plan costing, which remains available and is the default for
+small queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..core.cost import CostEstimate, CostModel
+from ..hardware.hierarchy import MemoryHierarchy
+from ..optimizer.advisor import (
+    AdvisorRegistry,
+    AggregateAdvisor,
+    JoinAdvisor,
+    SortAdvisor,
+    default_registry,
+)
+from .logical import Aggregate, Filter, Join, LogicalOp, Relation, Sort
+from .physical import (
+    AggregateNode,
+    HashJoinNode,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PartitionedHashJoinNode,
+    PlanNode,
+    ProjectNode,
+    QueryPlan,
+    ScanNode,
+    SelectNode,
+    SortAggregateNode,
+    SortNode,
+)
+
+__all__ = [
+    "PlannerConfig",
+    "PlanCandidate",
+    "PlannedQuery",
+    "Optimizer",
+    "plan_signature",
+]
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Enumeration knobs.
+
+    ``pipeline`` selects pipeline-aware (``⊙``) whole-plan costing;
+    ``max_exhaustive_relations`` bounds exhaustive join-order
+    enumeration (beyond it, ``optimize`` switches to the subset DP).
+    """
+
+    include_nested_loop: bool = False
+    reorder_joins: bool = True
+    pipeline: bool = True
+    #: "auto" uses exhaustive whole-plan costing up to this many base
+    #: relations and the subset DP beyond.  Candidate counts grow ~30x
+    #: per relation (3 relations ≈ 100 plans, 4 ≈ 3000), and each is
+    #: costed with a full pattern derivation, so raise this only for
+    #: small inputs (or call optimize(..., method="exhaustive")).
+    max_exhaustive_relations: int = 3
+
+
+def plan_signature(node: PlanNode) -> str:
+    """A compact one-line rendering of a physical plan's shape."""
+    if isinstance(node, ScanNode):
+        return node.output_region().name
+    if isinstance(node, SelectNode):
+        return f"σ({plan_signature(node.child)})"
+    if isinstance(node, ProjectNode):
+        return f"k({plan_signature(node.child)})"
+    if isinstance(node, SortNode):
+        return f"sort({plan_signature(node.child)})"
+    if isinstance(node, MergeJoinNode):
+        return f"mj({plan_signature(node.left)}, {plan_signature(node.right)})"
+    if isinstance(node, HashJoinNode):
+        return f"hj({plan_signature(node.left)}, {plan_signature(node.right)})"
+    if isinstance(node, NestedLoopJoinNode):
+        return f"nlj({plan_signature(node.left)}, {plan_signature(node.right)})"
+    if isinstance(node, PartitionedHashJoinNode):
+        return (f"phj[m={node.partitions}]({plan_signature(node.left)}, "
+                f"{plan_signature(node.right)})")
+    if isinstance(node, AggregateNode):
+        return f"agg({plan_signature(node.child)})"
+    if isinstance(node, SortAggregateNode):
+        return f"sort_agg({plan_signature(node.child)})"
+    return type(node).__name__
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One enumerated physical plan with its predicted cost."""
+
+    plan: QueryPlan
+    estimate: CostEstimate
+
+    @property
+    def total_ns(self) -> float:
+        return self.estimate.total_ns
+
+    @property
+    def memory_ns(self) -> float:
+        return self.estimate.memory_ns
+
+    @property
+    def signature(self) -> str:
+        return plan_signature(self.plan.root)
+
+
+class PlannedQuery:
+    """The result of an :meth:`Optimizer.optimize` call: every
+    enumerated candidate, cheapest first.
+
+    Executing candidates is not side-effect free: sort-based operators
+    sort the *shared base columns* in place, and candidates share scan
+    nodes, so running one plan changes the data (and access traces) the
+    others would see.  To compare several candidates on one
+    :class:`~repro.db.Database`, snapshot ``column.values`` before each
+    run and restore afterwards (see ``examples/optimize_query.py``)."""
+
+    def __init__(self, candidates: list[PlanCandidate]) -> None:
+        if not candidates:
+            raise ValueError("no candidate plans were enumerated")
+        self.candidates = sorted(candidates, key=lambda c: c.total_ns)
+
+    @property
+    def best(self) -> PlanCandidate:
+        return self.candidates[0]
+
+    @property
+    def worst(self) -> PlanCandidate:
+        return self.candidates[-1]
+
+    @property
+    def plan(self) -> QueryPlan:
+        """The chosen (cheapest) physical plan."""
+        return self.best.plan
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def __iter__(self):
+        return iter(self.candidates)
+
+    def summary(self, limit: int = 8) -> str:
+        """Cheapest candidates, one line each."""
+        lines = [f"{len(self.candidates)} candidate plans "
+                 f"(best {self.best.total_ns / 1e3:.1f} us, "
+                 f"worst {self.worst.total_ns / 1e3:.1f} us):"]
+        shown = self.candidates[:limit]
+        for rank, cand in enumerate(shown, start=1):
+            lines.append(f"  {rank:>3}. {cand.total_ns / 1e3:>12.1f} us  "
+                         f"{cand.signature}")
+        if len(self.candidates) > limit:
+            lines.append(f"  ... {len(self.candidates) - limit} more")
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """Enumerates physical plans for a logical tree and ranks them by
+    derived whole-plan cost.
+
+    Parameters
+    ----------
+    hierarchy:
+        Machine profile the plans are costed against.
+    config:
+        Enumeration knobs (:class:`PlannerConfig`).
+    registry:
+        Operator advisors; defaults to
+        :func:`repro.optimizer.default_registry`.
+    """
+
+    def __init__(self, hierarchy: MemoryHierarchy,
+                 config: PlannerConfig | None = None,
+                 registry: AdvisorRegistry | None = None) -> None:
+        self.hierarchy = hierarchy
+        self.model = CostModel(hierarchy)
+        self.config = config or PlannerConfig()
+        self.registry = registry or default_registry(hierarchy)
+
+    # ------------------------------------------------------------------
+    @property
+    def _join_advisor(self) -> JoinAdvisor:
+        return self.registry.advisor("join")
+
+    @property
+    def _sort_advisor(self) -> SortAdvisor:
+        return self.registry.advisor("sort")
+
+    @property
+    def _aggregate_advisor(self) -> AggregateAdvisor:
+        return self.registry.advisor("aggregate")
+
+    def _stop_bytes(self) -> int:
+        return self._sort_advisor.stop_bytes()
+
+    # ------------------------------------------------------------------
+    def optimize(self, logical: LogicalOp,
+                 method: str = "auto") -> PlannedQuery:
+        """Enumerate, cost, and rank plans for ``logical``.
+
+        ``method`` is ``"exhaustive"`` (every join order costed as a
+        whole plan), ``"dp"`` (dynamic programming over relation
+        subsets), or ``"auto"`` (exhaustive up to
+        ``config.max_exhaustive_relations`` base relations)."""
+        if method not in ("auto", "exhaustive", "dp"):
+            raise ValueError(f"unknown method {method!r}")
+        if method == "auto":
+            n_relations = sum(
+                1 for _ in _walk_logical(logical) if isinstance(_, Relation)
+            )
+            method = ("exhaustive"
+                      if n_relations <= self.config.max_exhaustive_relations
+                      else "dp")
+        roots = self._alternatives(logical, use_dp=(method == "dp"))
+        return PlannedQuery([self._candidate(root) for root in roots])
+
+    def enumerate_plans(self, logical: LogicalOp) -> list[PlanNode]:
+        """All physical alternatives for ``logical`` (exhaustive)."""
+        return self._alternatives(logical, use_dp=False)
+
+    def _candidate(self, root: PlanNode) -> PlanCandidate:
+        plan = QueryPlan(root)
+        try:
+            estimate = plan.estimate(self.model, pipeline=self.config.pipeline)
+        except ValueError:
+            # access-free plan (bare scan): nothing to cost
+            estimate = CostEstimate(levels=(), cpu_ns=0.0)
+        return PlanCandidate(plan=plan, estimate=estimate)
+
+    # ------------------------------------------------------------------
+    def _alternatives(self, op: LogicalOp, use_dp: bool) -> list[PlanNode]:
+        if isinstance(op, Relation):
+            return [ScanNode(column=op.column, region=op.region,
+                             sorted=op.sorted)]
+        if isinstance(op, Filter):
+            return [SelectNode(alt, op.predicate, op.selectivity)
+                    for alt in self._alternatives(op.child, use_dp)]
+        if isinstance(op, Sort):
+            return [alt if alt.produces_sorted_output
+                    else SortNode(alt, stop_bytes=self._stop_bytes())
+                    for alt in self._alternatives(op.child, use_dp)]
+        if isinstance(op, Aggregate):
+            if op.key_of is not None and _contains_join(op.child):
+                # A positional key_of reads the raw (outer oid, inner
+                # oid) pairs, whose meaning depends on join order,
+                # operand sides and output row order.  Any enumeration
+                # freedom would change the query's *result*, so the
+                # child subtree is pinned to the canonical
+                # order-preserving physical form.
+                return [AggregateNode(self._canonical(op.child),
+                                      groups=op.groups, key_of=op.key_of)]
+            out: list[PlanNode] = []
+            specs = self._aggregate_advisor.candidate_specs
+            for alt in self._alternatives(op.child, use_dp):
+                if op.key_of is None and alt.produces_pairs:
+                    # Group by the join key: narrow the pair output to
+                    # its key column so the grouping is independent of
+                    # the join order the enumerator picked.
+                    alt = ProjectNode(alt)
+                names = specs(composite_input=(alt.produces_pairs
+                                               or op.key_of is not None))
+                for name in names:
+                    if name == "hash_aggregate":
+                        out.append(AggregateNode(alt, groups=op.groups,
+                                                 key_of=op.key_of))
+                    elif name == "sort_aggregate":
+                        out.append(SortAggregateNode(
+                            alt, groups=op.groups,
+                            stop_bytes=self._stop_bytes()))
+            return out
+        if isinstance(op, Join):
+            leaves = (self._flatten_join(op)
+                      if self.config.reorder_joins else None)
+            if leaves is not None and len(leaves) >= 2:
+                if use_dp:
+                    return self._dp_join_plans(leaves)
+                return self._all_join_trees(leaves)
+            out = []
+            for l in self._alternatives(op.left, use_dp):
+                for r in self._alternatives(op.right, use_dp):
+                    out.extend(self._join_impls(l, r, op.match_fraction))
+            return out
+        raise TypeError(f"not a logical operator: {op!r}")
+
+    def _canonical(self, op: LogicalOp) -> PlanNode:
+        """The one physical plan that mirrors ``op`` exactly and
+        preserves output row order (hash joins follow their outer
+        input's order; no reordering, no operand swaps, no sort-based
+        implementations) — required under a positional ``key_of``."""
+        if isinstance(op, Relation):
+            return ScanNode(column=op.column, region=op.region,
+                            sorted=op.sorted)
+        if isinstance(op, Filter):
+            return SelectNode(self._canonical(op.child), op.predicate,
+                              op.selectivity)
+        if isinstance(op, Sort):
+            return self._sorted_input(self._canonical(op.child))
+        if isinstance(op, Join):
+            left = self._key_input(self._canonical(op.left))
+            right = self._key_input(self._canonical(op.right))
+            return HashJoinNode(left, right, op.match_fraction)
+        if isinstance(op, Aggregate):
+            child = self._canonical(op.child)
+            if op.key_of is None and child.produces_pairs:
+                child = ProjectNode(child)
+            return AggregateNode(child, groups=op.groups, key_of=op.key_of)
+        raise TypeError(f"not a logical operator: {op!r}")
+
+    # -- join ordering --------------------------------------------------
+    def _flatten_join(self, join: Join) -> list[LogicalOp] | None:
+        """The inputs of the n-way join ``join`` heads, or ``None`` when
+        reordering must not change the oracle's cardinalities (a join
+        chain with non-unit match fractions is left in the given
+        association; implementations are still chosen per operator)."""
+        leaves: list[LogicalOp] = []
+        fractions: list[float] = []
+
+        def collect(op: LogicalOp) -> None:
+            if isinstance(op, Join):
+                fractions.append(op.match_fraction)
+                collect(op.left)
+                collect(op.right)
+            else:
+                leaves.append(op)
+
+        collect(join)
+        if all(f == 1.0 for f in fractions):
+            return leaves
+        return None
+
+    def _all_join_trees(self, leaves: list[LogicalOp]) -> list[PlanNode]:
+        """Every binary association tree over ``leaves`` (both operand
+        orders), with every implementation per join."""
+        memo: dict[frozenset, list[PlanNode]] = {}
+
+        def build(subset: frozenset) -> list[PlanNode]:
+            if subset in memo:
+                return memo[subset]
+            if len(subset) == 1:
+                (index,) = subset
+                result = self._alternatives(leaves[index], use_dp=False)
+            else:
+                result = []
+                members = sorted(subset)
+                for k in range(1, len(members)):
+                    for left_ids in combinations(members, k):
+                        left_set = frozenset(left_ids)
+                        right_set = subset - left_set
+                        for l in build(left_set):
+                            for r in build(right_set):
+                                result.extend(self._join_impls(l, r, 1.0))
+            memo[subset] = result
+            return result
+
+        return build(frozenset(range(len(leaves))))
+
+    def _dp_join_plans(self, leaves: list[LogicalOp]) -> list[PlanNode]:
+        """Dynamic programming over relation subsets, keeping per subset
+        the cheapest sub-plan for each interesting order (sorted /
+        unsorted output)."""
+        best: dict[frozenset, dict[bool, tuple[float, PlanNode]]] = {}
+
+        def keep(subset: frozenset, node: PlanNode) -> None:
+            cost = self._standalone_cost(node)
+            slot = best.setdefault(subset, {})
+            key = node.produces_sorted_output
+            if key not in slot or cost < slot[key][0]:
+                slot[key] = (cost, node)
+
+        n = len(leaves)
+        for index in range(n):
+            subset = frozenset((index,))
+            for alt in self._alternatives(leaves[index], use_dp=True):
+                keep(subset, alt)
+                if not alt.produces_sorted_output:
+                    keep(subset, SortNode(alt, stop_bytes=self._stop_bytes()))
+        indices = frozenset(range(n))
+        for size in range(2, n + 1):
+            for members in combinations(range(n), size):
+                subset = frozenset(members)
+                for k in range(1, size):
+                    for left_ids in combinations(sorted(subset), k):
+                        left_set = frozenset(left_ids)
+                        right_set = subset - left_set
+                        if left_set not in best or right_set not in best:
+                            continue
+                        for _, l in best[left_set].values():
+                            for _, r in best[right_set].values():
+                                for node in self._join_impls(l, r, 1.0):
+                                    keep(subset, node)
+        return [node for _, node in best[indices].values()]
+
+    def _standalone_cost(self, node: PlanNode) -> float:
+        pattern = node.full_pattern(self.config.pipeline)
+        memory = 0.0 if pattern is None else self.model.estimate(pattern).memory_ns
+        cpu = self.hierarchy.nanoseconds(
+            sum(n.cpu_cycles() for n in node.walk())
+        )
+        return memory + cpu
+
+    # -- per-join implementation selection ------------------------------
+    def _key_input(self, node: PlanNode) -> PlanNode:
+        """Joins consume plain key columns; narrow join-pair outputs."""
+        return ProjectNode(node) if node.produces_pairs else node
+
+    def _sorted_input(self, node: PlanNode) -> PlanNode:
+        """Sort-ahead: order an input for a merge join if needed."""
+        if node.produces_sorted_output:
+            return node
+        return SortNode(node, stop_bytes=self._stop_bytes())
+
+    def _join_impls(self, left: PlanNode, right: PlanNode,
+                    match_fraction: float) -> list[PlanNode]:
+        left = self._key_input(left)
+        right = self._key_input(right)
+        U, V = left.output_region(), right.output_region()
+        impls: list[PlanNode] = []
+        for spec in self._join_advisor.candidate_specs(
+                U, V, include_nested_loop=self.config.include_nested_loop):
+            if spec.algorithm == "merge_join":
+                impls.append(MergeJoinNode(self._sorted_input(left),
+                                           self._sorted_input(right),
+                                           match_fraction))
+            elif spec.algorithm == "hash_join":
+                impls.append(HashJoinNode(left, right, match_fraction))
+            elif spec.algorithm == "partitioned_hash_join":
+                m = min(spec.partitions, U.n, V.n)
+                if m >= 2:
+                    impls.append(PartitionedHashJoinNode(
+                        left, right, match_fraction, partitions=m))
+            elif spec.algorithm == "nested_loop_join":
+                impls.append(NestedLoopJoinNode(left, right, match_fraction))
+        return impls
+
+
+def _walk_logical(op: LogicalOp):
+    yield op
+    for child in op.children():
+        yield from _walk_logical(child)
+
+
+def _contains_join(op: LogicalOp) -> bool:
+    return any(isinstance(node, Join) for node in _walk_logical(op))

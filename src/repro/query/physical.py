@@ -1,0 +1,919 @@
+"""Physical plan operators with pipeline-aware pattern composition.
+
+A physical plan is a tree of operator nodes.  Each node knows
+
+* how to **execute** against the engine (producing real columns and a
+  real access trace in the simulator), and
+* how to **describe** its data access as a pattern, given the regions
+  of its inputs — so the whole plan's cost function is derived
+  automatically by combining its operators' patterns.
+
+Composition follows the paper's Section 3.3 operators: a *materialized*
+edge (the consumer starts after the producer finished) combines the two
+patterns with sequential execution ``⊕``; a *pipelined* edge (the
+consumer processes items while the producer emits them) combines them
+with concurrent execution ``⊙``.  Whether an edge pipelines is derived
+from two properties:
+
+* :attr:`PlanNode.is_pipelined` — the producer emits output items
+  incrementally (a selection does; a sort only finishes all at once);
+* :meth:`PlanNode.pipelined_inputs` — the consumer drains each input as
+  a stream (a merge join does; a sort needs its input materialized).
+
+Multi-phase operators (hash join: build ⊕ probe; aggregation:
+consume ⊕ emit) pipeline each input edge into the correct *phase*: a
+streamed inner input overlaps the build, a streamed outer input overlaps
+the probe, and the output streams with the probe only.
+
+Cardinalities come from the logical cost component, which the paper
+assumes to be a perfect oracle; nodes take explicit selectivity/
+cardinality hints for the same effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..core.algorithms import (
+    DEFAULT_HASH_MAX_LOAD,
+    hash_aggregate_phases,
+    hash_build_pattern,
+    hash_join_pattern,
+    hash_probe_pattern,
+    hash_table_region,
+    merge_join_pattern,
+    nested_loop_join_pattern,
+    partition_pattern,
+    partitioned_hash_join_pattern,
+    project_pattern,
+    quick_sort_pattern,
+    select_pattern,
+    sort_aggregate_pattern,
+)
+from ..core.cost import CostEstimate, CostModel
+from ..core.cpu import cpu_cycles, sort_depth
+from ..core.patterns import Conc, Pattern, STrav, Seq
+from ..core.regions import DataRegion
+from ..db.aggregate import hash_aggregate, sort_aggregate
+from ..db.column import Column
+from ..db.context import Database
+from ..db.join import OUTPUT_WIDTH, hash_join, merge_join, nested_loop_join
+from ..db.partition import join_partitions, partition
+from ..db.scan import select
+from ..db.sort import quick_sort
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "SelectNode",
+    "ProjectNode",
+    "SortNode",
+    "MergeJoinNode",
+    "HashJoinNode",
+    "NestedLoopJoinNode",
+    "PartitionedHashJoinNode",
+    "AggregateNode",
+    "SortAggregateNode",
+    "QueryPlan",
+]
+
+
+def _seq(*parts: Pattern | None) -> Pattern | None:
+    """``⊕``-combine the non-``None`` parts (``None`` if none remain)."""
+    present = [p for p in parts if p is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    return Seq.of(*present)
+
+
+def _conc(*parts: Pattern | None) -> Pattern | None:
+    """``⊙``-combine the non-``None`` parts (``None`` if none remain)."""
+    present = [p for p in parts if p is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    return Conc.of(*present)
+
+
+def _compose_edge(child: "PlanNode", phase: Pattern | None,
+                  prefix_parts: list[Pattern], pipeline: bool,
+                  piped: bool = True) -> Pattern | None:
+    """Compose one child edge into a consumer ``phase``.
+
+    A pipelined edge contributes the child's prefix to ``prefix_parts``
+    and returns the phase ``⊙``-merged with the child's stream
+    (:func:`_merge_stream`); a materialized edge contributes the child's
+    whole pattern to ``prefix_parts`` and returns the phase unchanged.
+    """
+    c_prefix, c_stream = child.compose(pipeline)
+    if pipeline and piped and child.is_pipelined:
+        if c_prefix is not None:
+            prefix_parts.append(c_prefix)
+        return _merge_stream(c_stream, phase, child.output_region())
+    whole = _seq(c_prefix, c_stream)
+    if whole is not None:
+        prefix_parts.append(whole)
+    return phase
+
+
+def _merge_stream(stream: Pattern | None, phase: Pattern | None,
+                  shared: DataRegion | None) -> Pattern | None:
+    """``⊙``-merge a pipelined producer's ``stream`` into the consumer
+    ``phase``, coalescing the one co-moving cursor pair.
+
+    The producer's output cursor and the consumer's input cursor sweep
+    the *same* intermediate region (``shared``) in lock-step — the
+    consumer touches each line while the producer's write has it
+    resident — so the pair contributes the misses and footprint of a
+    single traversal: exactly one duplicate of one equal
+    :class:`~repro.core.STrav` pair over ``shared`` is dropped.
+
+    Dropping requires an actual producer cursor: coalescing happens only
+    when the stream itself carries a sequential traversal of ``shared``,
+    and removes exactly one equal occurrence beyond it.  It is per
+    pipelined edge and region-targeted, never generic value-equality
+    over the whole ``⊙``: a self-join's two independent cursors over one
+    region (a bare-scan self-join has no stream at all), or two
+    different selections of the same base column, keep all their
+    cursors.
+    """
+    if stream is None or phase is None or shared is None:
+        return _conc(stream, phase)
+    stream_parts = stream.parts if isinstance(stream, Conc) else (stream,)
+    producer = next(
+        (p for p in stream_parts
+         if isinstance(p, STrav) and p.region == shared), None)
+    merged = _conc(stream, phase)
+    if producer is None or not isinstance(merged, Conc):
+        return merged
+    parts = list(merged.parts)
+    matches = [i for i, p in enumerate(parts) if p == producer]
+    if len(matches) >= 2:
+        del parts[matches[-1]]
+    if len(parts) == 1:
+        return parts[0]
+    return Conc(parts)
+
+
+class PlanNode:
+    """Base class of physical plan operators."""
+
+    def output_region(self) -> DataRegion:
+        """The (oracle-estimated) region this node produces."""
+        raise NotImplementedError
+
+    def pattern(self) -> Pattern | None:
+        """This node's own data access pattern (excluding children).
+        ``None`` for nodes that perform no access of their own."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def execute(self, db: Database) -> Column:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    # -- pipelining interface ------------------------------------------
+    @property
+    def is_pipelined(self) -> bool:
+        """Whether this operator emits output items incrementally while
+        consuming input (so a downstream streaming consumer can overlap
+        with it, ``⊙``)."""
+        return False
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        """Per child: whether this operator drains that input as a
+        stream (rather than requiring it materialized first)."""
+        return tuple(False for _ in self.children())
+
+    # -- plan-wide derived properties ----------------------------------
+    @property
+    def produces_sorted_output(self) -> bool:
+        """Whether the output is ordered by join/sort key (for joins:
+        the key order of the would-be projected key column)."""
+        return False
+
+    @property
+    def produces_pairs(self) -> bool:
+        """Whether output values are (outer oid, inner oid) pairs (join
+        results) rather than plain keys."""
+        return False
+
+    def recover_key(self, row: int, value) -> int:
+        """The join key of an output item (pair-producing sub-plans
+        only; valid after :meth:`execute`).
+
+        Recovery is *value-based* — derived from ``value``, not from
+        ``row`` — so it stays correct through operators that filter or
+        reorder rows (a selection or sort above a join delegates here
+        with its own row numbers but unchanged values)."""
+        raise NotImplementedError(f"{type(self).__name__} has no join keys")
+
+    def cpu_cycles(self) -> float:
+        """Calibrated pure-CPU cycles of this operator alone (Eq. 6.1)."""
+        return 0.0
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """All nodes of this sub-plan, post-order."""
+        for child in self.children():
+            yield from child.walk()
+        yield self
+
+    # -- pattern composition -------------------------------------------
+    def compose(self, pipeline: bool = True) -> tuple[Pattern | None, Pattern | None]:
+        """This sub-plan's pattern, split as ``(prefix, stream)``.
+
+        ``prefix`` must complete before the first output item appears;
+        ``stream`` is the work that runs while output streams (``None``
+        for blocking operators).  With ``pipeline=False`` every edge is
+        treated as materialized, reproducing pure-``⊕`` composition.
+        """
+        prefix_parts: list[Pattern] = []
+        work = self.pattern()
+        for child, edge_piped in zip(self.children(), self.pipelined_inputs()):
+            work = _compose_edge(child, work, prefix_parts, pipeline,
+                                 edge_piped)
+        if pipeline and self.is_pipelined:
+            return _seq(*prefix_parts), work
+        return _seq(*prefix_parts, work), None
+
+    def full_pattern(self, pipeline: bool = True) -> Pattern | None:
+        """The whole sub-plan's pattern: pipelined producer/consumer
+        edges are ``⊙``-combined (Section 3.3), materialized edges
+        ``⊕``-combined.  ``pipeline=False`` models every edge as
+        materialization (the previous, conservative behaviour).
+        ``None`` for access-free sub-plans (bare scans)."""
+        prefix, stream = self.compose(pipeline)
+        return _seq(prefix, stream)
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """A base-table column (no access of its own: consumers read it).
+    ``sorted`` declares an existing physical order.  A region-only scan
+    (``column=None``) supports model-only planning and cannot execute."""
+
+    column: Column | None = None
+    region: DataRegion | None = None
+    sorted: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.column is None) == (self.region is None):
+            raise ValueError("a ScanNode needs exactly one of column/region")
+
+    def output_region(self) -> DataRegion:
+        return self.column.region() if self.column is not None else self.region
+
+    def pattern(self) -> Pattern | None:
+        # The scan itself is folded into the consuming operator's
+        # sequential input sweep; a bare scan costs nothing extra.
+        return None
+
+    @property
+    def is_pipelined(self) -> bool:
+        return True
+
+    @property
+    def produces_sorted_output(self) -> bool:
+        return self.sorted
+
+    def execute(self, db: Database) -> Column:
+        if self.column is None:
+            raise ValueError(
+                f"scan of bare region {self.region.name} is model-only"
+            )
+        return self.column
+
+    def label(self) -> str:
+        return f"scan({self.output_region().name})"
+
+
+@dataclass
+class SelectNode(PlanNode):
+    """Filter; ``selectivity`` is the oracle's output fraction."""
+
+    child: PlanNode
+    predicate: Callable[[int], bool]
+    selectivity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ValueError("selectivity must be in (0, 1]")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_region(self) -> DataRegion:
+        src = self.child.output_region()
+        n = max(1, int(src.n * self.selectivity))
+        return DataRegion(f"σ({src.name})", n=n, w=src.w)
+
+    def pattern(self) -> Pattern:
+        return select_pattern(self.child.output_region(), self.output_region())
+
+    @property
+    def is_pipelined(self) -> bool:
+        return True
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        return (True,)
+
+    @property
+    def produces_sorted_output(self) -> bool:
+        return self.child.produces_sorted_output
+
+    @property
+    def produces_pairs(self) -> bool:
+        return self.child.produces_pairs
+
+    def recover_key(self, row: int, value) -> int:
+        return self.child.recover_key(row, value)
+
+    def cpu_cycles(self) -> float:
+        return cpu_cycles("select", self.child.output_region().n)
+
+    def execute(self, db: Database) -> Column:
+        source = self.child.execute(db)
+        return select(db, source, self.predicate,
+                      output_name=self.output_region().name)
+
+    def label(self) -> str:
+        return f"select(sel={self.selectivity})"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Narrow a wide intermediate to its join-key column.
+
+    The optimizer inserts this between two joins: join results store
+    (outer oid, inner oid) pairs, and the next join needs a plain key
+    column to sort, hash or merge on.  Only the key bytes of each input
+    item are read (``u = width``), matching the paper's projection
+    pattern ``s_trav+(U, u) ⊙ s_trav+(W)``.
+    """
+
+    child: PlanNode
+    width: int = 8
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_region(self) -> DataRegion:
+        src = self.child.output_region()
+        return DataRegion(f"k({src.name})", n=src.n, w=self.width)
+
+    def _used_bytes(self) -> int:
+        return min(self.width, self.child.output_region().w)
+
+    def pattern(self) -> Pattern:
+        return project_pattern(self.child.output_region(),
+                               self.output_region(), u=self._used_bytes())
+
+    @property
+    def is_pipelined(self) -> bool:
+        return True
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        return (True,)
+
+    @property
+    def produces_sorted_output(self) -> bool:
+        return self.child.produces_sorted_output
+
+    def cpu_cycles(self) -> float:
+        return cpu_cycles("project", self.child.output_region().n)
+
+    def execute(self, db: Database) -> Column:
+        source = self.child.execute(db)
+        mem = db.mem
+        u = min(self.width, source.width)
+        out = db.allocate_column(self.output_region().name,
+                                 n=max(1, source.n), width=self.width)
+        pairs = self.child.produces_pairs
+        for row in range(source.n):
+            mem.access(source.item_address(row), u)
+            value = source.values[row]
+            key = self.child.recover_key(row, value) if pairs else value
+            out.write(mem, row, key)
+        out.values = out.values[:source.n]
+        return out
+
+    def label(self) -> str:
+        return "project(key)"
+
+
+@dataclass
+class SortNode(PlanNode):
+    """In-place quick-sort of the child's (materialized) output."""
+
+    child: PlanNode
+    stop_bytes: int | None = None
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_region(self) -> DataRegion:
+        src = self.child.output_region()
+        return DataRegion(f"sort({src.name})", n=src.n, w=src.w)
+
+    def pattern(self) -> Pattern:
+        return quick_sort_pattern(self.child.output_region(),
+                                  stop_bytes=self.stop_bytes)
+
+    @property
+    def produces_sorted_output(self) -> bool:
+        return True
+
+    @property
+    def produces_pairs(self) -> bool:
+        return self.child.produces_pairs
+
+    def recover_key(self, row: int, value) -> int:
+        return self.child.recover_key(row, value)
+
+    def cpu_cycles(self) -> float:
+        n = self.child.output_region().n
+        return cpu_cycles("sort", n * sort_depth(n))
+
+    def execute(self, db: Database) -> Column:
+        column = self.child.execute(db)
+        quick_sort(db, column)
+        return column
+
+    def label(self) -> str:
+        return "sort"
+
+
+class _JoinNode(PlanNode):
+    """Shared behaviour of the binary join operators."""
+
+    left: PlanNode
+    right: PlanNode
+    match_fraction: float
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def output_region(self) -> DataRegion:
+        l, r = self.left.output_region(), self.right.output_region()
+        n = max(1, int(min(l.n, r.n) * self.match_fraction))
+        return DataRegion(f"({l.name}⋈{r.name})", n=n, w=OUTPUT_WIDTH)
+
+    @property
+    def produces_pairs(self) -> bool:
+        return True
+
+    def recover_key(self, row: int, value) -> int:
+        outer = getattr(self, "_outer_values", None)
+        if outer is None:
+            raise RuntimeError(
+                f"{type(self).__name__}.recover_key needs the join to have "
+                "executed first"
+            )
+        return outer[value[0]]
+
+    def _check_match_fraction(self) -> None:
+        if not 0.0 < self.match_fraction <= 1.0:
+            raise ValueError("match_fraction must be in (0, 1]")
+
+
+@dataclass
+class MergeJoinNode(_JoinNode):
+    """Merge join; both inputs must already be sorted."""
+
+    left: PlanNode
+    right: PlanNode
+    match_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._check_match_fraction()
+
+    def pattern(self) -> Pattern:
+        return merge_join_pattern(self.left.output_region(),
+                                  self.right.output_region(),
+                                  self.output_region())
+
+    @property
+    def is_pipelined(self) -> bool:
+        return True
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        return (True, True)
+
+    @property
+    def produces_sorted_output(self) -> bool:
+        return True
+
+    def cpu_cycles(self) -> float:
+        return cpu_cycles("merge_join", self.left.output_region().n
+                          + self.right.output_region().n)
+
+    def execute(self, db: Database) -> Column:
+        left = self.left.execute(db)
+        right = self.right.execute(db)
+        self._outer_values = left.values
+        capacity = max(left.n, right.n, 1)
+        return merge_join(db, left, right,
+                          output_name=self.output_region().name,
+                          output_capacity=capacity)
+
+    def label(self) -> str:
+        return "merge_join"
+
+
+@dataclass
+class HashJoinNode(_JoinNode):
+    """Hash join (builds on the right/inner input).
+
+    Two phases: *build* drains the inner input (streamed if the inner
+    child pipelines) into the hash table; *probe* drains the outer input
+    and streams the output.  Pipelined composition overlaps each input
+    with its phase only — the probe never starts before the build ends.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    match_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._check_match_fraction()
+
+    def _hash_region(self) -> DataRegion:
+        return hash_table_region(self.right.output_region(),
+                                 max_load=DEFAULT_HASH_MAX_LOAD)
+
+    def pattern(self) -> Pattern:
+        return hash_join_pattern(self.left.output_region(),
+                                 self.right.output_region(),
+                                 self.output_region(),
+                                 H=self._hash_region())
+
+    @property
+    def is_pipelined(self) -> bool:
+        return True
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        return (True, True)
+
+    @property
+    def produces_sorted_output(self) -> bool:
+        # Output follows the outer (probe) order.
+        return self.left.produces_sorted_output
+
+    def cpu_cycles(self) -> float:
+        return cpu_cycles("hash_join", self.left.output_region().n
+                          + self.right.output_region().n)
+
+    def compose(self, pipeline: bool = True) -> tuple[Pattern | None, Pattern | None]:
+        if not pipeline:
+            return super().compose(False)
+        H = self._hash_region()
+        build = hash_build_pattern(self.right.output_region(), H)
+        probe = hash_probe_pattern(self.left.output_region(), H,
+                                   self.output_region())
+        prefix_parts: list[Pattern] = []
+        prefix_parts.append(
+            _compose_edge(self.right, build, prefix_parts, True))
+        stream = _compose_edge(self.left, probe, prefix_parts, True)
+        return _seq(*prefix_parts), stream
+
+    def execute(self, db: Database) -> Column:
+        left = self.left.execute(db)
+        right = self.right.execute(db)
+        self._outer_values = left.values
+        capacity = max(left.n, right.n, 1)
+        out, _ = hash_join(db, left, right,
+                           output_name=self.output_region().name,
+                           output_capacity=capacity)
+        return out
+
+    def label(self) -> str:
+        return "hash_join"
+
+
+@dataclass
+class NestedLoopJoinNode(_JoinNode):
+    """Nested-loop join: a full inner traversal per outer item.  The
+    inner input must be materialized (it is rescanned)."""
+
+    left: PlanNode
+    right: PlanNode
+    match_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        self._check_match_fraction()
+
+    def pattern(self) -> Pattern:
+        return nested_loop_join_pattern(self.left.output_region(),
+                                        self.right.output_region(),
+                                        self.output_region())
+
+    @property
+    def is_pipelined(self) -> bool:
+        return True
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        return (True, False)
+
+    @property
+    def produces_sorted_output(self) -> bool:
+        return self.left.produces_sorted_output
+
+    def cpu_cycles(self) -> float:
+        return cpu_cycles("nested_loop_join",
+                          self.left.output_region().n
+                          * self.right.output_region().n)
+
+    def execute(self, db: Database) -> Column:
+        left = self.left.execute(db)
+        right = self.right.execute(db)
+        self._outer_values = left.values
+        capacity = max(left.n, right.n, 1)
+        return nested_loop_join(db, left, right,
+                                output_name=self.output_region().name,
+                                output_capacity=capacity)
+
+    def label(self) -> str:
+        return "nested_loop_join"
+
+
+@dataclass
+class PartitionedHashJoinNode(_JoinNode):
+    """Partition both inputs into ``partitions`` clusters, then hash-join
+    matching cluster pairs (paper Section 6.2, Figure 7e).  The partition
+    count is injected by the optimizer (smallest count making each
+    per-cluster hash table cache-resident)."""
+
+    left: PlanNode
+    right: PlanNode
+    match_fraction: float = 1.0
+    partitions: int = 2
+
+    def __post_init__(self) -> None:
+        self._check_match_fraction()
+        if self.partitions < 2:
+            raise ValueError("partitioned hash join needs >= 2 partitions "
+                             "(use HashJoinNode for m = 1)")
+
+    def _effective_partitions(self) -> int:
+        l, r = self.left.output_region(), self.right.output_region()
+        return max(1, min(self.partitions, l.n, r.n, self.output_region().n))
+
+    def _phase_patterns(self) -> tuple[Pattern, Pattern, Pattern]:
+        """(partition left, partition right, clustered joins)."""
+        U = self.left.output_region()
+        V = self.right.output_region()
+        W = self.output_region()
+        m = self._effective_partitions()
+        PU = DataRegion(f"P({U.name})", n=U.n, w=U.w)
+        PV = DataRegion(f"P({V.name})", n=V.n, w=V.w)
+        V_parts = PV.split(m)
+        H_regions = tuple(
+            hash_table_region(v, max_load=DEFAULT_HASH_MAX_LOAD)
+            for v in V_parts
+        )
+        joins = partitioned_hash_join_pattern(
+            PU.split(m), V_parts, W.split(m), H_regions=H_regions
+        )
+        return (partition_pattern(U, PU, m),
+                partition_pattern(V, PV, m),
+                joins)
+
+    def pattern(self) -> Pattern:
+        part_l, part_r, joins = self._phase_patterns()
+        return part_l + part_r + joins
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        # Each partition pass streams its input; the join phase starts
+        # only after both passes finished, so the node itself blocks.
+        return (True, True)
+
+    def cpu_cycles(self) -> float:
+        return cpu_cycles("partitioned_hash_join",
+                          self.left.output_region().n
+                          + self.right.output_region().n)
+
+    def compose(self, pipeline: bool = True) -> tuple[Pattern | None, Pattern | None]:
+        if not pipeline:
+            return super().compose(False)
+        part_l, part_r, joins = self._phase_patterns()
+        prefix_parts: list[Pattern] = []
+        for child, part_pass in ((self.left, part_l), (self.right, part_r)):
+            prefix_parts.append(
+                _compose_edge(child, part_pass, prefix_parts, True))
+        prefix_parts.append(joins)
+        return _seq(*prefix_parts), None
+
+    def execute(self, db: Database) -> Column:
+        left = self.left.execute(db)
+        right = self.right.execute(db)
+        # The cluster count the pattern was priced with, re-clamped only
+        # by the actual input sizes (partition() needs m <= n).
+        m = max(1, min(self._effective_partitions(), left.n, right.n))
+        left_parts = partition(db, left, m)
+        right_parts = partition(db, right, m)
+        outputs, _ = join_partitions(
+            db, left_parts, right_parts,
+            output_name=self.output_region().name,
+        )
+        # Pairs are re-indexed to (global output row, local inner oid):
+        # the cluster-local outer oid is ambiguous once clusters are
+        # concatenated, and a global first component keeps key recovery
+        # value-based (correct under filtering/reordering above).
+        values: list = []
+        keys: list[int] = []
+        for out_col, outer_cluster in zip(outputs, left_parts.clusters):
+            for pair in out_col.values:
+                keys.append(outer_cluster.values[pair[0]])
+                values.append((len(values), pair[1]))
+        self._keys = keys
+        # The cluster outputs already live in simulated memory (the W_j
+        # regions of the pattern); this combined column is a zero-copy
+        # view for the consumer, so its creation is not measured.
+        return db.create_column(self.output_region().name, values,
+                                width=OUTPUT_WIDTH)
+
+    def recover_key(self, row: int, value) -> int:
+        return self._keys[value[0]]
+
+    def label(self) -> str:
+        return f"partitioned_hash_join(m={self.partitions})"
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Hash-based group-count; ``groups`` is the oracle's group count.
+    ``key_of`` extracts the grouping key from a stored value (join
+    outputs store (outer oid, inner oid) pairs).
+
+    Two phases: *consume* drains the input (streamed if the child
+    pipelines), *emit* sweeps the group table — so only the consume
+    phase ``⊙``-overlaps a pipelined producer.
+    """
+
+    child: PlanNode
+    groups: int = 64
+    key_of: Callable | None = None
+
+    def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ValueError("groups must be positive")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_region(self) -> DataRegion:
+        return DataRegion("agg", n=max(1, self.groups), w=16)
+
+    def _group_region(self) -> DataRegion:
+        return hash_table_region(
+            DataRegion("G", n=self.groups, w=16),
+            max_load=DEFAULT_HASH_MAX_LOAD, name="G",
+        )
+
+    def _phases(self) -> tuple[Pattern, Pattern]:
+        return hash_aggregate_phases(self.child.output_region(),
+                                     self._group_region(),
+                                     self.output_region())
+
+    def pattern(self) -> Pattern:
+        consume, emit = self._phases()
+        return consume + emit
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        return (True,)
+
+    def cpu_cycles(self) -> float:
+        return cpu_cycles("hash_aggregate", self.child.output_region().n)
+
+    def compose(self, pipeline: bool = True) -> tuple[Pattern | None, Pattern | None]:
+        if not pipeline:
+            return super().compose(False)
+        consume, emit = self._phases()
+        prefix_parts: list[Pattern] = []
+        prefix_parts.append(
+            _compose_edge(self.child, consume, prefix_parts, True))
+        prefix_parts.append(emit)
+        return _seq(*prefix_parts), None
+
+    def execute(self, db: Database) -> Column:
+        source = self.child.execute(db)
+        return hash_aggregate(db, source, groups_hint=self.groups,
+                              key_of=self.key_of)
+
+    def label(self) -> str:
+        return f"aggregate(groups={self.groups})"
+
+
+@dataclass
+class SortAggregateNode(PlanNode):
+    """Sort-based group-count: quick-sort the (materialized) input in
+    place, then one sequential grouping pass.  Only applicable when the
+    raw values are the grouping keys (no ``key_of`` extraction)."""
+
+    child: PlanNode
+    groups: int = 64
+    stop_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ValueError("groups must be positive")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_region(self) -> DataRegion:
+        return DataRegion("agg", n=max(1, self.groups), w=16)
+
+    def pattern(self) -> Pattern:
+        return sort_aggregate_pattern(self.child.output_region(),
+                                      self.output_region(),
+                                      stop_bytes=self.stop_bytes)
+
+    @property
+    def produces_sorted_output(self) -> bool:
+        return True
+
+    def cpu_cycles(self) -> float:
+        n = self.child.output_region().n
+        return (cpu_cycles("sort", n * sort_depth(n))
+                + cpu_cycles("aggregate_pass", n))
+
+    def execute(self, db: Database) -> Column:
+        source = self.child.execute(db)
+        return sort_aggregate(db, source)
+
+    def label(self) -> str:
+        return f"sort_aggregate(groups={self.groups})"
+
+
+class QueryPlan:
+    """A physical plan with derived whole-query costs."""
+
+    def __init__(self, root: PlanNode) -> None:
+        self.root = root
+        self._patterns: dict[bool, Pattern] = {}
+
+    def pattern(self, pipeline: bool = True) -> Pattern:
+        """The whole plan's access pattern.  ``pipeline=True`` combines
+        pipelined producer/consumer edges with ``⊙`` (Section 3.3);
+        ``pipeline=False`` models every edge as materialization.
+
+        Derived once per mode and cached (plan trees are not mutated
+        after construction — the enumerator estimates many candidates)."""
+        if pipeline not in self._patterns:
+            pattern = self.root.full_pattern(pipeline)
+            if pattern is None:
+                raise ValueError(
+                    "the plan performs no data access (bare scan)")
+            self._patterns[pipeline] = pattern
+        return self._patterns[pipeline]
+
+    def cpu_cycles(self) -> float:
+        """Whole-plan calibrated CPU cycles (shared Eq. 6.1 constants)."""
+        return sum(node.cpu_cycles() for node in self.root.walk())
+
+    def estimate(self, model: CostModel, cpu_ns: float | None = None,
+                 pipeline: bool = True) -> CostEstimate:
+        """Whole-plan cost.  ``cpu_ns=None`` derives the CPU term from
+        the shared per-operator calibration; pass an explicit value (or
+        ``0.0`` for memory cost only) to override."""
+        if cpu_ns is None:
+            cpu_ns = model.hierarchy.nanoseconds(self.cpu_cycles())
+        return model.estimate(self.pattern(pipeline), cpu_ns=cpu_ns)
+
+    def execute(self, db: Database) -> Column:
+        return self.root.execute(db)
+
+    def explain(self, model: CostModel, pipeline: bool = True,
+                notation_width: int = 48) -> str:
+        """Per-operator predicted memory cost and pattern notation,
+        post-order, plus the pipeline-aware whole-plan total."""
+        lines = ["plan (post-order):"]
+
+        def clip(text: str) -> str:
+            if len(text) <= notation_width:
+                return text
+            return text[: notation_width - 1] + "…"
+
+        def visit(node: PlanNode, depth: int) -> None:
+            for child in node.children():
+                visit(child, depth + 1)
+            own = node.pattern()
+            cost = 0.0 if own is None else model.estimate(own).memory_ns
+            notation = "—" if own is None else clip(own.notation())
+            lines.append(f"  {'  ' * depth}{node.label():<28}"
+                         f"T_mem {cost / 1e3:>10.1f} us   "
+                         f"out n={node.output_region().n:<8} {notation}")
+
+        visit(self.root, 0)
+        total = self.estimate(model, cpu_ns=0.0, pipeline=pipeline).memory_ns
+        lines.append(f"  {'total':<30}T_mem {total / 1e3:>10.1f} us")
+        return "\n".join(lines)

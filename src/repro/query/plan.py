@@ -1,318 +1,38 @@
-"""Whole-query composition (paper Section 6: "Extension to further
-operations and whole queries is straight forward, as it just means
-applying the same techniques to combine access patterns").
+"""Backward-compatibility shim.
 
-A physical plan is a tree of operator nodes.  Each node knows
-
-* how to **execute** against the engine (producing real columns and a
-  real access trace in the simulator), and
-* how to **describe** its data access as a pattern, given the regions
-  of its inputs — so the whole plan's cost function is the ``⊕``
-  combination of its operators' patterns, derived automatically.
-
-Cardinalities come from the logical cost component, which the paper
-assumes to be a perfect oracle; nodes take explicit selectivity/
-cardinality hints for the same effect.
+The single-module plan layer grew into a package: logical algebra in
+:mod:`repro.query.logical`, physical operators in
+:mod:`repro.query.physical`, and the cost-driven plan enumerator in
+:mod:`repro.query.optimizer`.  This module re-exports the physical names
+so existing ``from repro.query.plan import ...`` imports keep working.
 """
 
-from __future__ import annotations
-
-import math
-from dataclasses import dataclass
-from typing import Callable
-
-from ..core.algorithms import (
-    hash_aggregate_pattern,
-    hash_join_pattern,
-    merge_join_pattern,
-    quick_sort_pattern,
-    select_pattern,
+from .physical import (
+    AggregateNode,
+    HashJoinNode,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PartitionedHashJoinNode,
+    PlanNode,
+    ProjectNode,
+    QueryPlan,
+    ScanNode,
+    SelectNode,
+    SortAggregateNode,
+    SortNode,
 )
-from ..core.cost import CostEstimate, CostModel
-from ..core.patterns import Pattern, Seq
-from ..core.regions import DataRegion
-from ..db.aggregate import hash_aggregate
-from ..db.column import Column
-from ..db.context import Database
-from ..db.hashtable import SimHashTable
-from ..db.join import OUTPUT_WIDTH, hash_join, merge_join
-from ..db.scan import select
-from ..db.sort import quick_sort
 
 __all__ = [
     "PlanNode",
     "ScanNode",
     "SelectNode",
+    "ProjectNode",
     "SortNode",
     "MergeJoinNode",
     "HashJoinNode",
+    "NestedLoopJoinNode",
+    "PartitionedHashJoinNode",
     "AggregateNode",
+    "SortAggregateNode",
     "QueryPlan",
 ]
-
-
-class PlanNode:
-    """Base class of physical plan operators."""
-
-    def output_region(self) -> DataRegion:
-        """The (oracle-estimated) region this node produces."""
-        raise NotImplementedError
-
-    def pattern(self) -> Pattern | None:
-        """This node's own data access pattern (excluding children).
-        ``None`` for nodes that perform no access of their own."""
-        raise NotImplementedError
-
-    def children(self) -> tuple["PlanNode", ...]:
-        return ()
-
-    def execute(self, db: Database) -> Column:
-        raise NotImplementedError
-
-    def label(self) -> str:
-        return type(self).__name__
-
-    # ------------------------------------------------------------------
-    def full_pattern(self) -> Pattern | None:
-        """The whole sub-plan's pattern: children first (left to right),
-        then this operator — all ``⊕``-combined (pipelining is modelled
-        conservatively as materialisation, as the paper's operator
-        patterns do).  ``None`` for access-free sub-plans (bare scans)."""
-        parts = [child.full_pattern() for child in self.children()]
-        own = self.pattern()
-        if own is not None:
-            parts.append(own)
-        parts = [p for p in parts if p is not None]
-        if not parts:
-            return None
-        if len(parts) == 1:
-            return parts[0]
-        return Seq.of(*parts)
-
-
-@dataclass
-class ScanNode(PlanNode):
-    """A base-table column (no access of its own: consumers read it)."""
-
-    column: Column
-
-    def output_region(self) -> DataRegion:
-        return self.column.region()
-
-    def pattern(self) -> Pattern | None:
-        # The scan itself is folded into the consuming operator's
-        # sequential input sweep; a bare scan costs nothing extra.
-        return None
-
-    def execute(self, db: Database) -> Column:
-        return self.column
-
-    def label(self) -> str:
-        return f"scan({self.column.name})"
-
-
-@dataclass
-class SelectNode(PlanNode):
-    """Filter; ``selectivity`` is the oracle's output fraction."""
-
-    child: PlanNode
-    predicate: Callable[[int], bool]
-    selectivity: float = 0.5
-
-    def __post_init__(self) -> None:
-        if not 0.0 < self.selectivity <= 1.0:
-            raise ValueError("selectivity must be in (0, 1]")
-
-    def children(self) -> tuple[PlanNode, ...]:
-        return (self.child,)
-
-    def output_region(self) -> DataRegion:
-        src = self.child.output_region()
-        n = max(1, int(src.n * self.selectivity))
-        return DataRegion(f"σ({src.name})", n=n, w=src.w)
-
-    def pattern(self) -> Pattern:
-        return select_pattern(self.child.output_region(), self.output_region())
-
-    def execute(self, db: Database) -> Column:
-        source = self.child.execute(db)
-        return select(db, source, self.predicate,
-                      output_name=self.output_region().name)
-
-    def label(self) -> str:
-        return f"select(sel={self.selectivity})"
-
-
-@dataclass
-class SortNode(PlanNode):
-    """In-place quick-sort of the child's output."""
-
-    child: PlanNode
-    stop_bytes: int | None = None
-
-    def children(self) -> tuple[PlanNode, ...]:
-        return (self.child,)
-
-    def output_region(self) -> DataRegion:
-        src = self.child.output_region()
-        return DataRegion(f"sort({src.name})", n=src.n, w=src.w)
-
-    def pattern(self) -> Pattern:
-        return quick_sort_pattern(self.child.output_region(),
-                                  stop_bytes=self.stop_bytes)
-
-    def execute(self, db: Database) -> Column:
-        column = self.child.execute(db)
-        quick_sort(db, column)
-        return column
-
-    def label(self) -> str:
-        return "sort"
-
-
-@dataclass
-class MergeJoinNode(PlanNode):
-    """Merge join; both inputs must already be sorted."""
-
-    left: PlanNode
-    right: PlanNode
-    match_fraction: float = 1.0
-
-    def children(self) -> tuple[PlanNode, ...]:
-        return (self.left, self.right)
-
-    def output_region(self) -> DataRegion:
-        l, r = self.left.output_region(), self.right.output_region()
-        n = max(1, int(min(l.n, r.n) * self.match_fraction))
-        return DataRegion(f"({l.name}⋈{r.name})", n=n, w=OUTPUT_WIDTH)
-
-    def pattern(self) -> Pattern:
-        return merge_join_pattern(self.left.output_region(),
-                                  self.right.output_region(),
-                                  self.output_region())
-
-    def execute(self, db: Database) -> Column:
-        left = self.left.execute(db)
-        right = self.right.execute(db)
-        capacity = max(left.n, right.n, 1)
-        return merge_join(db, left, right,
-                          output_name=self.output_region().name,
-                          output_capacity=capacity)
-
-    def label(self) -> str:
-        return "merge_join"
-
-
-@dataclass
-class HashJoinNode(PlanNode):
-    """Hash join (builds on the right/inner input)."""
-
-    left: PlanNode
-    right: PlanNode
-    match_fraction: float = 1.0
-
-    def children(self) -> tuple[PlanNode, ...]:
-        return (self.left, self.right)
-
-    def output_region(self) -> DataRegion:
-        l, r = self.left.output_region(), self.right.output_region()
-        n = max(1, int(min(l.n, r.n) * self.match_fraction))
-        return DataRegion(f"({l.name}⋈{r.name})", n=n, w=OUTPUT_WIDTH)
-
-    def _hash_region(self) -> DataRegion:
-        inner = self.right.output_region()
-        capacity = 1
-        while capacity * 0.5 < inner.n:
-            capacity *= 2
-        return DataRegion(f"H({inner.name})", n=capacity, w=16)
-
-    def pattern(self) -> Pattern:
-        return hash_join_pattern(self.left.output_region(),
-                                 self.right.output_region(),
-                                 self.output_region(),
-                                 H=self._hash_region())
-
-    def execute(self, db: Database) -> Column:
-        left = self.left.execute(db)
-        right = self.right.execute(db)
-        capacity = max(left.n, right.n, 1)
-        out, _ = hash_join(db, left, right,
-                           output_name=self.output_region().name,
-                           output_capacity=capacity)
-        return out
-
-    def label(self) -> str:
-        return "hash_join"
-
-
-@dataclass
-class AggregateNode(PlanNode):
-    """Hash-based group-count; ``groups`` is the oracle's group count.
-    ``key_of`` extracts the grouping key from a stored value (join
-    outputs store (outer oid, inner oid) pairs)."""
-
-    child: PlanNode
-    groups: int = 64
-    key_of: Callable | None = None
-
-    def children(self) -> tuple[PlanNode, ...]:
-        return (self.child,)
-
-    def output_region(self) -> DataRegion:
-        return DataRegion("agg", n=max(1, self.groups), w=16)
-
-    def _group_region(self) -> DataRegion:
-        capacity = 1
-        while capacity < self.groups * 2:
-            capacity *= 2
-        return DataRegion("G", n=capacity, w=16)
-
-    def pattern(self) -> Pattern:
-        return hash_aggregate_pattern(self.child.output_region(),
-                                      self._group_region(),
-                                      self.output_region())
-
-    def execute(self, db: Database) -> Column:
-        source = self.child.execute(db)
-        return hash_aggregate(db, source, groups_hint=self.groups,
-                              key_of=self.key_of)
-
-    def label(self) -> str:
-        return f"aggregate(groups={self.groups})"
-
-
-class QueryPlan:
-    """A physical plan with derived whole-query costs."""
-
-    def __init__(self, root: PlanNode) -> None:
-        self.root = root
-
-    def pattern(self) -> Pattern:
-        pattern = self.root.full_pattern()
-        if pattern is None:
-            raise ValueError("the plan performs no data access (bare scan)")
-        return pattern
-
-    def estimate(self, model: CostModel, cpu_ns: float = 0.0) -> CostEstimate:
-        return model.estimate(self.pattern(), cpu_ns=cpu_ns)
-
-    def execute(self, db: Database) -> Column:
-        return self.root.execute(db)
-
-    def explain(self, model: CostModel) -> str:
-        """Per-operator predicted memory cost, post-order."""
-        lines = ["plan (post-order):"]
-
-        def visit(node: PlanNode, depth: int) -> None:
-            for child in node.children():
-                visit(child, depth + 1)
-            own = node.pattern()
-            cost = 0.0 if own is None else model.estimate(own).memory_ns
-            lines.append(f"  {'  ' * depth}{node.label():<28}"
-                         f"T_mem {cost / 1e3:>10.1f} us   "
-                         f"out n={node.output_region().n}")
-
-        visit(self.root, 0)
-        total = self.estimate(model).memory_ns
-        lines.append(f"  {'total':<30}T_mem {total / 1e3:>10.1f} us")
-        return "\n".join(lines)

@@ -4,7 +4,13 @@ import pytest
 
 from repro.core import DataRegion
 from repro.hardware import origin2000
-from repro.optimizer import JoinAdvisor
+from repro.optimizer import (
+    AdvisorRegistry,
+    AggregateAdvisor,
+    JoinAdvisor,
+    SortAdvisor,
+    default_registry,
+)
 
 
 def regions(n, w=8, out_w=16):
@@ -94,3 +100,88 @@ class TestPartitionRecommendation:
         m_l1 = advisor.recommend_partitions(V, target_level="L1")
         m_l2 = advisor.recommend_partitions(V, target_level="L2")
         assert m_l1 >= m_l2
+
+
+class TestCandidateSpecs:
+    def test_partitioning_offered_only_beyond_cache(self, origin):
+        advisor = JoinAdvisor(origin)
+        small = DataRegion("V", n=1000, w=8)  # hash table fits L2
+        names = [s.algorithm for s in advisor.candidate_specs(small, small)]
+        assert "partitioned_hash_join" not in names
+        big = DataRegion("V", n=16_000_000, w=8)
+        specs = {s.algorithm: s for s in advisor.candidate_specs(big, big)}
+        assert "partitioned_hash_join" in specs
+        assert (specs["partitioned_hash_join"].partitions
+                == advisor.recommend_partitions(big))
+
+    def test_nested_loop_spec_gated(self, origin):
+        advisor = JoinAdvisor(origin)
+        U = DataRegion("U", n=1000, w=8)
+        names = [s.algorithm for s in advisor.candidate_specs(U, U)]
+        assert "nested_loop_join" not in names
+        names = [s.algorithm for s in
+                 advisor.candidate_specs(U, U, include_nested_loop=True)]
+        assert "nested_loop_join" in names
+
+
+class TestRegistry:
+    def test_default_registry_covers_operator_kinds(self, origin):
+        registry = default_registry(origin)
+        assert registry.operators() == ["aggregate", "join", "sort"]
+        assert isinstance(registry.advisor("join"), JoinAdvisor)
+        assert isinstance(registry.advisor("sort"), SortAdvisor)
+        assert isinstance(registry.advisor("aggregate"), AggregateAdvisor)
+
+    def test_unknown_operator_raises(self, origin):
+        with pytest.raises(KeyError):
+            default_registry(origin).advisor("window")
+
+    def test_registration_overrides(self, origin):
+        registry = AdvisorRegistry()
+        advisor = SortAdvisor(origin)
+        registry.register(advisor)
+        assert "sort" in registry
+        assert registry.advisor("sort") is advisor
+
+    def test_cpu_calibration_shared_with_core(self):
+        from repro.core.cpu import CPU_CYCLES_PER_ITEM as core_table
+        from repro.optimizer import CPU_CYCLES_PER_ITEM as advisor_table
+        assert advisor_table is core_table
+
+
+class TestSortAdvisor:
+    def test_stop_bytes_is_smallest_cache(self, origin):
+        advisor = SortAdvisor(origin)
+        assert advisor.stop_bytes() == min(
+            l.capacity for l in origin.all_levels)
+
+    def test_choice_scales_with_input(self, origin):
+        advisor = SortAdvisor(origin)
+        small = advisor.best(DataRegion("U", n=10_000, w=8))
+        big = advisor.best(DataRegion("U", n=1_000_000, w=8))
+        assert big.total_ns > small.total_ns
+        assert small.algorithm == "quick_sort"
+
+
+class TestAggregateAdvisor:
+    def test_rank_orders_by_cost(self, origin):
+        advisor = AggregateAdvisor(origin)
+        choices = advisor.rank(DataRegion("U", n=500_000, w=8), groups=64)
+        costs = [c.total_ns for c in choices]
+        assert costs == sorted(costs)
+        assert {c.algorithm for c in choices} == {"hash_aggregate",
+                                                  "sort_aggregate"}
+
+    def test_composite_input_excludes_sort(self, origin):
+        advisor = AggregateAdvisor(origin)
+        choices = advisor.rank(DataRegion("U", n=1000, w=16), groups=8,
+                               composite_input=True)
+        assert [c.algorithm for c in choices] == ["hash_aggregate"]
+        assert advisor.candidate_specs(composite_input=True) == \
+            ["hash_aggregate"]
+
+    def test_few_groups_favour_hash(self, origin):
+        """A cache-resident group table beats sorting the whole input."""
+        advisor = AggregateAdvisor(origin)
+        best = advisor.best(DataRegion("U", n=4_000_000, w=8), groups=64)
+        assert best.algorithm == "hash_aggregate"

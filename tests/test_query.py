@@ -2,16 +2,20 @@
 
 import pytest
 
-from repro.core import CostModel, Seq
+from repro.core import CostModel, Seq, hash_capacity
 from repro.db import Database, random_permutation, sorted_ints
 from repro.hardware import origin2000_scaled
 from repro.query import (
     AggregateNode,
     HashJoinNode,
     MergeJoinNode,
+    NestedLoopJoinNode,
+    PartitionedHashJoinNode,
+    ProjectNode,
     QueryPlan,
     ScanNode,
     SelectNode,
+    SortAggregateNode,
     SortNode,
 )
 
@@ -71,6 +75,47 @@ class TestExecution:
         with pytest.raises(ValueError):
             plan.pattern()
 
+    def test_nested_loop_join_plan(self, db):
+        left = db.create_column("U", random_permutation(32, seed=9), width=8)
+        right = db.create_column("V", random_permutation(32, seed=10), width=8)
+        plan = QueryPlan(NestedLoopJoinNode(ScanNode(left), ScanNode(right)))
+        out = plan.execute(db)
+        assert len(out.values) == 32
+
+    def test_partitioned_hash_join_plan(self, db):
+        left = db.create_column("U", random_permutation(256, seed=11), width=8)
+        right = db.create_column("V", random_permutation(256, seed=12), width=8)
+        plan = QueryPlan(PartitionedHashJoinNode(ScanNode(left),
+                                                 ScanNode(right),
+                                                 partitions=4))
+        out = plan.execute(db)
+        assert len(out.values) == 256
+
+    def test_project_recovers_join_keys(self, db):
+        values = random_permutation(64, seed=13)
+        left = db.create_column("U", values, width=8)
+        right = db.create_column("V", random_permutation(64, seed=14), width=8)
+        plan = QueryPlan(ProjectNode(HashJoinNode(ScanNode(left),
+                                                  ScanNode(right))))
+        out = plan.execute(db)
+        assert sorted(out.values) == sorted(values)
+
+    def test_project_recovers_partitioned_join_keys(self, db):
+        values = random_permutation(128, seed=15)
+        left = db.create_column("U", values, width=8)
+        right = db.create_column("V", random_permutation(128, seed=16), width=8)
+        plan = QueryPlan(ProjectNode(PartitionedHashJoinNode(
+            ScanNode(left), ScanNode(right), partitions=4)))
+        out = plan.execute(db)
+        assert sorted(out.values) == sorted(values)
+
+    def test_sort_aggregate_plan(self, db):
+        col = db.create_column("U", [v % 8 for v in range(64)], width=8)
+        plan = QueryPlan(SortAggregateNode(ScanNode(col), groups=8))
+        out = plan.execute(db)
+        assert len(out.values) == 8
+        assert all(count == 8 for _, count in out.values)
+
 
 class TestCostDerivation:
     def test_plan_pattern_is_operator_sequence(self, db):
@@ -129,7 +174,37 @@ class TestCostDerivation:
         text = plan.explain(model)
         assert "select" in text and "total" in text
 
+    def test_explain_shows_pattern_notation(self, db, scaled):
+        """Each operator line carries its pattern in the paper's
+        notation, so plan diffs are reviewable."""
+        model = CostModel(scaled)
+        left = db.create_column("U", sorted_ints(64), width=8)
+        right = db.create_column("V", sorted_ints(64), width=8)
+        plan = QueryPlan(MergeJoinNode(ScanNode(left), ScanNode(right)))
+        text = plan.explain(model)
+        assert "s_trav+(U) ⊙ s_trav+(V)" in text
+        select_plan = QueryPlan(SelectNode(ScanNode(left), lambda v: True,
+                                           selectivity=1.0))
+        assert "s_trav+(U) ⊙ s_trav+(σ(U))" in select_plan.explain(model)
+
     def test_invalid_selectivity_rejected(self, db):
         col = db.create_column("U", [1], width=8)
         with pytest.raises(ValueError):
             SelectNode(ScanNode(col), lambda v: True, selectivity=0.0)
+
+    def test_plan_shim_module_still_imports(self):
+        from repro.query.plan import HashJoinNode as shim_hash
+        assert shim_hash is HashJoinNode
+
+    def test_hash_regions_follow_engine_capacity_policy(self, db):
+        """The plan layer's hash regions match what the engine actually
+        allocates (one shared capacity-rounding policy)."""
+        left = db.create_column("U", random_permutation(100, seed=17), width=8)
+        right = db.create_column("V", random_permutation(100, seed=18), width=8)
+        join = HashJoinNode(ScanNode(left), ScanNode(right))
+        assert join._hash_region().n == hash_capacity(100)
+        agg = AggregateNode(ScanNode(left), groups=12)
+        assert agg._group_region().n == hash_capacity(12)
+        out, table = __import__("repro.db.join", fromlist=["hash_join"]) \
+            .hash_join(db, left, right)
+        assert table.capacity == join._hash_region().n
