@@ -14,6 +14,8 @@ The package provides:
   execute against the simulator (the Monet stand-in).
 * :mod:`repro.calibrator` — the parameter-measurement micro-benchmarks.
 * :mod:`repro.optimizer` — a cost-based algorithm advisor built on the model.
+* :mod:`repro.session` — the public façade: fluent/text query frontends,
+  prepared statements, and a profile-keyed plan cache.
 * :mod:`repro.validation` — the model-vs-measurement experiment harness.
 """
 
@@ -28,9 +30,20 @@ from .hardware import (
 )
 from .simulator import MemorySystem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def __getattr__(name):
+    # Lazy: `import repro` stays light; the session façade pulls in the
+    # whole query/optimizer stack only when asked for.
+    if name == "Session":
+        from .session import Session
+        return Session
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "Session",
     "CacheLevel",
     "MemoryHierarchy",
     "MemorySystem",

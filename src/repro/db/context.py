@@ -28,6 +28,34 @@ class Database:
         self.hierarchy = hierarchy
         self.mem = MemorySystem(hierarchy)
         self.allocator = Allocator()
+        #: named-table catalog: the columns query frontends resolve by
+        #: name.  Registration is explicit (see :meth:`register`) so
+        #: intermediate results never shadow base tables.
+        self.catalog: dict[str, Column] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, column: Column, name: str | None = None) -> Column:
+        """Register a column in the named-table catalog (under its own
+        name by default).  Re-registering a name rebinds it."""
+        self.catalog[name or column.name] = column
+        return column
+
+    def column(self, name: str) -> Column:
+        """Look up a registered table/column by name."""
+        try:
+            return self.catalog[name]
+        except KeyError:
+            known = ", ".join(sorted(self.catalog)) or "none registered"
+            raise KeyError(
+                f"no registered table {name!r} (known: {known})") from None
+
+    def set_hierarchy(self, hierarchy: MemoryHierarchy) -> None:
+        """Switch to a new (e.g. re-calibrated) machine profile in
+        place.  The address space, catalog, and column contents all
+        survive; the trace-driven memory system restarts cold against
+        the new hierarchy."""
+        self.hierarchy = hierarchy
+        self.mem = MemorySystem(hierarchy)
 
     # ------------------------------------------------------------------
     def create_column(self, name: str, values: Sequence, width: int = 8,

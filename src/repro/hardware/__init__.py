@@ -13,6 +13,7 @@ from .serialization import (
     hierarchy_from_dict,
     hierarchy_to_dict,
     load_hierarchy,
+    profile_fingerprint,
     save_hierarchy,
 )
 
@@ -29,4 +30,5 @@ __all__ = [
     "hierarchy_from_dict",
     "save_hierarchy",
     "load_hierarchy",
+    "profile_fingerprint",
 ]

@@ -80,6 +80,12 @@ class MemoryHierarchy:
                 return lvl
         raise KeyError(f"no cache level named {name!r} in {self.name}")
 
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of this profile (see
+        :func:`repro.hardware.profile_fingerprint`)."""
+        from .serialization import profile_fingerprint
+        return profile_fingerprint(self)
+
     def cycles(self, nanoseconds: float) -> float:
         """Convert a duration in nanoseconds to CPU cycles."""
         return nanoseconds * self.cpu_speed_mhz / 1e3

@@ -7,6 +7,7 @@ machine drive cost estimation anywhere.  The schema mirrors Table 1.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -18,6 +19,7 @@ __all__ = [
     "hierarchy_from_dict",
     "save_hierarchy",
     "load_hierarchy",
+    "profile_fingerprint",
 ]
 
 _SCHEMA_VERSION = 1
@@ -74,6 +76,21 @@ def hierarchy_from_dict(data: dict) -> MemoryHierarchy:
         tlbs=tuple(_level_from_dict(t) for t in data.get("tlbs", [])),
         cpu_speed_mhz=float(data.get("cpu_speed_mhz", 1000.0)),
     )
+
+
+def profile_fingerprint(hierarchy: MemoryHierarchy) -> str:
+    """A stable content fingerprint of a machine profile.
+
+    Hashes the canonical JSON form of the profile (every Table 1
+    parameter, the TLBs, and the clock speed), so two profiles have
+    equal fingerprints exactly when the cost model would price every
+    plan identically on them.  Plan caches use this as the profile
+    component of their keys: recalibrating a machine changes the
+    fingerprint, which silently retires every cached plan.
+    """
+    payload = json.dumps(hierarchy_to_dict(hierarchy), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def save_hierarchy(hierarchy: MemoryHierarchy, path: str | Path) -> None:

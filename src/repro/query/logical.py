@@ -37,7 +37,21 @@ __all__ = [
     "Join",
     "Sort",
     "Aggregate",
+    "callable_key",
 ]
+
+
+def callable_key(fn: Callable | None) -> str:
+    """A canonicalization token for a predicate/key callable.
+
+    Two trees share a token only while they reference the *same* callable
+    object — ``id()`` can only be reused after the object dies, and a plan
+    cache entry keeps every callable its compiled plan references alive,
+    so a token can never match a stale cache entry."""
+    if fn is None:
+        return "-"
+    name = getattr(fn, "__name__", type(fn).__name__)
+    return f"{name}@{id(fn):x}"
 
 
 class LogicalOp:
@@ -48,6 +62,18 @@ class LogicalOp:
 
     def output_region(self) -> DataRegion:
         """The oracle-estimated region of this operator's result."""
+        raise NotImplementedError
+
+    def canonical_key(self) -> str:
+        """A canonical rendering of this tree for plan-cache keys.
+
+        Two logical trees with equal keys describe the same query over
+        the same base columns with the same oracle hints (and the same
+        predicate/key callables), so a plan compiled for one is valid
+        for the other.  Keys embed object identity for columns and
+        callables (see :func:`callable_key`); they are meaningful only
+        while those objects are alive, which any cache holding the
+        compiled plan guarantees."""
         raise NotImplementedError
 
     def label(self) -> str:
@@ -85,6 +111,13 @@ class Relation(LogicalOp):
     def output_region(self) -> DataRegion:
         return self.column.region() if self.column is not None else self.region
 
+    def canonical_key(self) -> str:
+        if self.column is not None:
+            src = f"col:{self.column.name}@{id(self.column):x}"
+        else:
+            src = f"reg:{self.region.name}/{self.region.n}/{self.region.w}"
+        return f"rel({src},sorted={int(self.sorted)})"
+
     def label(self) -> str:
         return f"relation({self.output_region().name})"
 
@@ -108,6 +141,13 @@ class Filter(LogicalOp):
         src = self.child.output_region()
         n = max(1, int(src.n * self.selectivity))
         return DataRegion(f"σ({src.name})", n=n, w=src.w)
+
+    def canonical_key(self) -> str:
+        # float() normalizes int-valued hints (sel=1 vs the text
+        # frontend's sel=1.0) so all frontends render one key
+        return (f"filter({self.child.canonical_key()},"
+                f"sel={float(self.selectivity)!r},"
+                f"pred={callable_key(self.predicate)})")
 
     def label(self) -> str:
         return f"filter(sel={self.selectivity})"
@@ -140,6 +180,11 @@ class Join(LogicalOp):
         n = max(1, int(min(l.n, r.n) * self.match_fraction))
         return DataRegion(f"({l.name}⋈{r.name})", n=n, w=OUTPUT_WIDTH)
 
+    def canonical_key(self) -> str:
+        return (f"join({self.left.canonical_key()},"
+                f"{self.right.canonical_key()},"
+                f"mf={float(self.match_fraction)!r})")
+
     def label(self) -> str:
         return f"join(mf={self.match_fraction})"
 
@@ -156,6 +201,9 @@ class Sort(LogicalOp):
     def output_region(self) -> DataRegion:
         src = self.child.output_region()
         return DataRegion(f"sort({src.name})", n=src.n, w=src.w)
+
+    def canonical_key(self) -> str:
+        return f"sort({self.child.canonical_key()})"
 
 
 @dataclass
@@ -185,6 +233,11 @@ class Aggregate(LogicalOp):
 
     def output_region(self) -> DataRegion:
         return DataRegion("agg", n=max(1, self.groups), w=16)
+
+    def canonical_key(self) -> str:
+        return (f"agg({self.child.canonical_key()},"
+                f"groups={self.groups},"
+                f"key={callable_key(self.key_of)})")
 
     def label(self) -> str:
         return f"aggregate(groups={self.groups})"

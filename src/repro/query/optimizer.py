@@ -195,6 +195,11 @@ class Optimizer:
     registry:
         Operator advisors; defaults to
         :func:`repro.optimizer.default_registry`.
+
+    Optimizers are **re-entrant**: :meth:`optimize` touches no mutable
+    instance state (enumeration memos are call-local), so one instance
+    may serve several sessions — or interleaved calls — concurrently.
+    Any plan cache is passed per call, never stored on the optimizer.
     """
 
     def __init__(self, hierarchy: MemoryHierarchy,
@@ -204,6 +209,14 @@ class Optimizer:
         self.model = CostModel(hierarchy)
         self.config = config or PlannerConfig()
         self.registry = registry or default_registry(hierarchy)
+        self.fingerprint = hierarchy.fingerprint()
+        # Cache-key component for the advisor registry: all default
+        # registries on one profile are interchangeable; a custom
+        # registry keys by identity so optimizers sharing a cache never
+        # serve plans enumerated under someone else's advisors.
+        self._registry_token = (
+            "default" if registry is None
+            else f"{type(registry).__name__}@{id(registry):x}")
 
     # ------------------------------------------------------------------
     @property
@@ -222,14 +235,7 @@ class Optimizer:
         return self._sort_advisor.stop_bytes()
 
     # ------------------------------------------------------------------
-    def optimize(self, logical: LogicalOp,
-                 method: str = "auto") -> PlannedQuery:
-        """Enumerate, cost, and rank plans for ``logical``.
-
-        ``method`` is ``"exhaustive"`` (every join order costed as a
-        whole plan), ``"dp"`` (dynamic programming over relation
-        subsets), or ``"auto"`` (exhaustive up to
-        ``config.max_exhaustive_relations`` base relations)."""
+    def _resolve_method(self, logical: LogicalOp, method: str) -> str:
         if method not in ("auto", "exhaustive", "dp"):
             raise ValueError(f"unknown method {method!r}")
         if method == "auto":
@@ -239,6 +245,45 @@ class Optimizer:
             method = ("exhaustive"
                       if n_relations <= self.config.max_exhaustive_relations
                       else "dp")
+        return method
+
+    def cache_key(self, logical: LogicalOp,
+                  method: str = "auto") -> tuple[str, str, str, str, str]:
+        """The plan-cache key for ``logical`` under this optimizer:
+        (profile fingerprint, planner config, advisor registry,
+        resolved enumeration method, canonical logical tree).
+        ``"auto"`` is resolved first, so it shares entries with the
+        equivalent explicit method."""
+        return (self.fingerprint, repr(self.config), self._registry_token,
+                self._resolve_method(logical, method),
+                logical.canonical_key())
+
+    def optimize(self, logical: LogicalOp, method: str = "auto",
+                 cache=None) -> PlannedQuery:
+        """Enumerate, cost, and rank plans for ``logical``.
+
+        ``method`` is ``"exhaustive"`` (every join order costed as a
+        whole plan), ``"dp"`` (dynamic programming over relation
+        subsets), or ``"auto"`` (exhaustive up to
+        ``config.max_exhaustive_relations`` base relations).
+
+        ``cache`` is an optional plan cache (anything with
+        ``get(key) -> PlannedQuery | None`` and ``put(key, value)``,
+        e.g. :class:`repro.session.PlanCache`): a hit under
+        :meth:`cache_key` returns the previously enumerated
+        :class:`PlannedQuery` without re-running enumeration; a miss
+        enumerates and stores."""
+        method = self._resolve_method(logical, method)
+        if cache is None:
+            return self._enumerate(logical, method)
+        key = self.cache_key(logical, method)
+        planned = cache.get(key)
+        if planned is None:
+            planned = self._enumerate(logical, method)
+            cache.put(key, planned)
+        return planned
+
+    def _enumerate(self, logical: LogicalOp, method: str) -> PlannedQuery:
         roots = self._alternatives(logical, use_dp=(method == "dp"))
         return PlannedQuery([self._candidate(root) for root in roots])
 

@@ -1,26 +1,18 @@
-"""Backward-compatibility shim.
+"""Deprecated backward-compatibility shim.
 
 The single-module plan layer grew into a package: logical algebra in
 :mod:`repro.query.logical`, physical operators in
 :mod:`repro.query.physical`, and the cost-driven plan enumerator in
-:mod:`repro.query.optimizer`.  This module re-exports the physical names
-so existing ``from repro.query.plan import ...`` imports keep working.
+:mod:`repro.query.optimizer`.  Importing any of the moved names from
+here still works but emits a :class:`DeprecationWarning` pointing at the
+new home.
 """
 
-from .physical import (
-    AggregateNode,
-    HashJoinNode,
-    MergeJoinNode,
-    NestedLoopJoinNode,
-    PartitionedHashJoinNode,
-    PlanNode,
-    ProjectNode,
-    QueryPlan,
-    ScanNode,
-    SelectNode,
-    SortAggregateNode,
-    SortNode,
-)
+from __future__ import annotations
+
+import warnings
+
+from . import physical as _physical
 
 __all__ = [
     "PlanNode",
@@ -36,3 +28,18 @@ __all__ = [
     "SortAggregateNode",
     "QueryPlan",
 ]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            f"repro.query.plan is deprecated: import {name} from "
+            "repro.query.physical (plan enumeration lives in "
+            "repro.query.optimizer)",
+            DeprecationWarning, stacklevel=2)
+        return getattr(_physical, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,27 @@
+"""Session façade: fluent builder, text frontend, prepared statements,
+and a profile-keyed plan cache over the cost-driven optimizer.
+
+* :mod:`repro.session.session` — the :class:`Session` front door
+  (catalog, compilation, caching, execution),
+* :mod:`repro.session.builder` — the fluent :class:`QueryBuilder`
+  lowering to the logical algebra,
+* :mod:`repro.session.frontend` — the textual query language
+  (:func:`parse_query`),
+* :mod:`repro.session.cache` — :class:`PlanCache` and
+  :class:`PreparedStatement`.
+"""
+
+from .builder import GroupedBuilder, QueryBuilder
+from .cache import PlanCache, PreparedStatement
+from .frontend import QuerySyntaxError, parse_query
+from .session import Session
+
+__all__ = [
+    "Session",
+    "QueryBuilder",
+    "GroupedBuilder",
+    "PreparedStatement",
+    "PlanCache",
+    "parse_query",
+    "QuerySyntaxError",
+]

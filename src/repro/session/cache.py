@@ -1,0 +1,153 @@
+"""Profile-keyed plan cache and prepared statements.
+
+Compiling a query — enumerating join orders and implementations and
+pricing every candidate against the hierarchy profile — costs orders of
+magnitude more than looking a plan up, and the paper's premise is that
+one calibrated profile makes the chosen plan *deterministic*: the same
+logical tree on the same profile always compiles to the same physical
+plan.  That determinism is exactly what makes plans cacheable, keyed by
+(profile fingerprint, planner configuration, canonicalized logical
+tree).  Recalibrating the machine changes the fingerprint, which retires
+every cached plan without any explicit invalidation walk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+from ..db.column import Column
+from ..query.logical import LogicalOp
+from ..query.optimizer import PlannedQuery
+from ..simulator.counters import CounterSnapshot
+
+if TYPE_CHECKING:
+    from .session import Session
+
+__all__ = ["PlanCache", "PreparedStatement"]
+
+
+class PlanCache:
+    """An LRU cache of compiled :class:`~repro.query.PlannedQuery`
+    objects.
+
+    Entries hold the compiled plans, which in turn keep every referenced
+    column and predicate callable alive — so the ``id()``-based tokens
+    inside canonical keys (:func:`repro.query.logical.callable_key`)
+    stay unambiguous for exactly as long as their entry lives.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, PlannedQuery] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> PlannedQuery | None:
+        """The cached plan for ``key``, or ``None`` (counts a miss)."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: PlannedQuery) -> None:
+        """Store a compiled plan, evicting the least recently used
+        entry beyond ``max_entries``."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict[str, int]:
+        return {"entries": len(self._entries),
+                "hits": self.hits, "misses": self.misses}
+
+
+class PreparedStatement:
+    """A compiled query handle bound to a :class:`Session`.
+
+    Holds the logical tree and its compiled plan; :meth:`execute`,
+    :meth:`execute_measured` and :meth:`explain` re-validate the
+    session's profile fingerprint first and transparently recompile
+    (through the session's plan cache) if the profile changed since
+    compilation — a prepared statement never runs a plan priced for a
+    profile the session no longer uses.
+    """
+
+    def __init__(self, session: "Session", logical: LogicalOp,
+                 planned: PlannedQuery, fingerprint: str) -> None:
+        self.session = session
+        self.logical = logical
+        self._planned = planned
+        self._fingerprint = fingerprint
+
+    # ------------------------------------------------------------------
+    @property
+    def planned(self) -> PlannedQuery:
+        """The compiled candidate set (revalidated against the current
+        profile)."""
+        return self._revalidate()
+
+    @property
+    def plan(self):
+        """The chosen physical :class:`~repro.query.QueryPlan`."""
+        return self._revalidate().plan
+
+    @property
+    def fingerprint(self) -> str:
+        """Profile fingerprint the current compilation is valid for."""
+        return self._fingerprint
+
+    def _revalidate(self) -> PlannedQuery:
+        current = self.session.fingerprint
+        if current != self._fingerprint:
+            self._planned = self.session.compile(self.logical)
+            self._fingerprint = current
+        return self._planned
+
+    # ------------------------------------------------------------------
+    def explain(self) -> str:
+        """Per-operator cost/pattern breakdown of the chosen plan."""
+        planned = self._revalidate()
+        return planned.plan.explain(
+            self.session.model, pipeline=self.session.config.pipeline)
+
+    def summary(self, limit: int = 8) -> str:
+        """The enumerated candidates, cheapest first."""
+        return self._revalidate().summary(limit)
+
+    def execute(self, restore: bool = False) -> Column:
+        """Run the chosen plan against the session's database
+        (``restore=True`` puts registered columns back afterwards — see
+        :class:`~repro.session.Session` on in-place execution)."""
+        plan = self._revalidate().plan
+        with self.session._restoring(restore):
+            return self.session.db.execute(plan)
+
+    def execute_measured(self, cold: bool = True, restore: bool = False
+                         ) -> tuple[Column, CounterSnapshot]:
+        """Run the chosen plan and return ``(result, counter delta)``
+        (see :meth:`repro.db.Database.execute_measured`)."""
+        plan = self._revalidate().plan
+        with self.session._restoring(restore):
+            return self.session.db.execute_measured(plan, cold=cold)
+
+    def __repr__(self) -> str:
+        return (f"PreparedStatement({self._planned.best.signature}, "
+                f"profile={self._fingerprint})")

@@ -1,0 +1,206 @@
+"""Text frontend: a small query language over the logical algebra.
+
+The pattern language is executable as text (:mod:`repro.core.parser`);
+this module extends the same approach — a tokenizer and a recursive-
+descent parser resolving names against registries — to *queries*, so a
+query can live as a string in a configuration file or benchmark and
+still compile through the optimizer::
+
+    parse_query("aggregate(join(filter(orders, even, sel=0.5), "
+                "customers), groups=64)",
+                tables={"orders": ..., "customers": ...},
+                functions={"even": lambda v: v % 2 == 0})
+
+Grammar (whitespace-insensitive)::
+
+    query  := expr
+    expr   := call | NAME            -- a bare NAME is a registered table
+    call   := op "(" args ")"
+    op     := filter | join | sort | aggregate (aliases: agg, group,
+              group_by)
+
+Operator signatures mirror the logical algebra's oracle hints:
+
+* ``filter(child, pred [, sel=S])`` — ``pred`` names a registered
+  predicate; ``sel`` is the oracle selectivity (default 0.5).
+* ``join(left, right [, match=M])`` — oracle match fraction (default 1).
+* ``sort(child)`` — request a sorted result (ORDER BY).
+* ``aggregate(child [, groups=G] [, key=K])`` — group-count with oracle
+  group count ``G`` (default 64); ``key`` names a registered key
+  extractor (positional grouping, see
+  :class:`repro.query.logical.Aggregate`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Mapping
+
+from ..query.logical import Aggregate, Filter, Join, LogicalOp, Sort
+
+__all__ = ["parse_query", "QuerySyntaxError"]
+
+
+class QuerySyntaxError(ValueError):
+    """Raised for malformed query text or unknown names."""
+
+
+_TOKEN = re.compile(r"""
+    (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<equals>=)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<space>\s+)
+""", re.VERBOSE)
+
+_AGGREGATE_NAMES = ("aggregate", "agg", "group", "group_by")
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if not match:
+            raise QuerySyntaxError(
+                f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind != "space":
+            tokens.append((kind, match.group()))
+    tokens.append(("end", ""))
+    return tokens
+
+
+class _QueryParser:
+    def __init__(self, tokens: list[tuple[str, str]],
+                 tables: Mapping[str, LogicalOp],
+                 functions: Mapping[str, Callable]) -> None:
+        self.tokens = tokens
+        self.tables = tables
+        self.functions = functions
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def take(self, kind: str) -> str:
+        actual_kind, value = self.tokens[self.pos]
+        if actual_kind != kind:
+            raise QuerySyntaxError(
+                f"expected {kind}, found {value!r} (token {self.pos})")
+        self.pos += 1
+        return value
+
+    # ------------------------------------------------------------------
+    def parse(self) -> LogicalOp:
+        node = self.expr()
+        if self.peek()[0] != "end":
+            raise QuerySyntaxError(
+                f"trailing input from token {self.pos}: {self.peek()[1]!r}")
+        return node
+
+    def expr(self) -> LogicalOp:
+        kind, value = self.peek()
+        if kind != "word":
+            raise QuerySyntaxError(
+                f"expected a table or operator, found {value!r}")
+        name = self.take("word")
+        if self.peek()[0] == "lpar":
+            return self.call(name)
+        return self.table(name)
+
+    def call(self, name: str) -> LogicalOp:
+        op = name.lower()
+        self.take("lpar")
+        if op == "filter":
+            node = self._filter()
+        elif op == "join":
+            node = self._join()
+        elif op == "sort":
+            node = Sort(self.expr())
+        elif op in _AGGREGATE_NAMES:
+            node = self._aggregate()
+        else:
+            raise QuerySyntaxError(
+                f"unknown operator {name!r} (expected filter, join, sort "
+                f"or aggregate)")
+        self.take("rpar")
+        return node
+
+    # ------------------------------------------------------------------
+    def _filter(self) -> LogicalOp:
+        child = self.expr()
+        self.take("comma")
+        predicate = self.function(self.take("word"))
+        kwargs = self.keywords({"sel", "selectivity"})
+        sel = kwargs.get("sel", kwargs.get("selectivity", "0.5"))
+        return Filter(child, predicate, selectivity=self.number(sel, "sel"))
+
+    def _join(self) -> LogicalOp:
+        left = self.expr()
+        self.take("comma")
+        right = self.expr()
+        kwargs = self.keywords({"match", "match_fraction"})
+        match = kwargs.get("match", kwargs.get("match_fraction", "1.0"))
+        return Join(left, right,
+                    match_fraction=self.number(match, "match"))
+
+    def _aggregate(self) -> LogicalOp:
+        child = self.expr()
+        kwargs = self.keywords({"groups", "key"})
+        groups = int(self.number(kwargs.get("groups", "64"), "groups"))
+        key_of = self.function(kwargs["key"]) if "key" in kwargs else None
+        return Aggregate(child, groups=groups, key_of=key_of)
+
+    # ------------------------------------------------------------------
+    def keywords(self, allowed: set[str]) -> dict[str, str]:
+        """Trailing ``name=value`` arguments (values stay raw text)."""
+        kwargs: dict[str, str] = {}
+        while self.peek()[0] == "comma":
+            self.take("comma")
+            name = self.take("word")
+            if name not in allowed:
+                raise QuerySyntaxError(
+                    f"unknown keyword {name!r} (expected one of "
+                    f"{', '.join(sorted(allowed))})")
+            self.take("equals")
+            kind, value = self.peek()
+            if kind not in ("number", "word"):
+                raise QuerySyntaxError(
+                    f"expected a value for {name}=, found {value!r}")
+            kwargs[name] = self.take(kind)
+        return kwargs
+
+    def number(self, token: str, what: str) -> float:
+        try:
+            return float(token)
+        except ValueError:
+            raise QuerySyntaxError(
+                f"expected a number for {what}, found {token!r}") from None
+
+    def _lookup(self, registry: Mapping, name: str, what: str):
+        try:
+            return registry[name]
+        except KeyError:
+            known = ", ".join(sorted(registry)) or "none registered"
+            raise QuerySyntaxError(
+                f"unknown {what} {name!r} (known: {known})") from None
+
+    def table(self, name: str) -> LogicalOp:
+        return self._lookup(self.tables, name, "table")
+
+    def function(self, name: str) -> Callable:
+        return self._lookup(self.functions, name, "predicate/key function")
+
+
+def parse_query(text: str, tables: Mapping[str, LogicalOp],
+                functions: Mapping[str, Callable] | None = None) -> LogicalOp:
+    """Parse query text into a logical tree against named tables and
+    predicate/key functions."""
+    if not text.strip():
+        raise QuerySyntaxError("empty query")
+    return _QueryParser(_tokenize(text), tables, functions or {}).parse()

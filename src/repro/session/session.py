@@ -1,0 +1,241 @@
+"""The session façade: one front door over engine, model, and optimizer.
+
+The paper's point is that a single calibrated hardware profile lets the
+optimizer pick the best implementation per operator automatically — a
+:class:`Session` packages that loop end to end.  It owns a
+:class:`~repro.db.Database`, a name catalog for tables and predicate/key
+functions, the cost model and a re-entrant optimizer for the current
+profile, and a profile-keyed :class:`~repro.session.PlanCache`.  Queries
+arrive through any of three equivalent frontends —
+
+* the **fluent builder**: ``s.table("orders").filter(even, 0.5)...``,
+* the **text frontend**: ``s.query("join(filter(orders, even), ...)")``,
+* the **explicit algebra**: a hand-assembled
+  :class:`~repro.query.logical.LogicalOp` tree
+
+— and all three lower to the same logical algebra, so they compile to
+identical physical plans and share plan-cache entries.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Sequence
+
+from ..core.cost import CostModel
+from ..core.regions import DataRegion
+from ..db.column import Column
+from ..db.context import Database
+from ..hardware.hierarchy import MemoryHierarchy
+from ..hardware.profiles import origin2000_scaled
+from ..query.logical import LogicalOp, Relation
+from ..query.optimizer import Optimizer, PlannedQuery, PlannerConfig
+from ..simulator.counters import CounterSnapshot
+from .builder import QueryBuilder
+from .cache import PlanCache, PreparedStatement
+from .frontend import parse_query
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A database session: catalog, compilation, caching, execution.
+
+    Every query method accepts a :class:`~repro.session.QueryBuilder`,
+    a bare :class:`~repro.query.logical.LogicalOp` tree, or query text.
+
+    Like the engine it wraps, execution is *in place*: sort-based
+    operators in a chosen plan reorder the shared base columns they
+    read (Monet-style semantics), so the catalog reflects execution
+    history.  Pass ``restore=True`` to :meth:`execute` /
+    :meth:`execute_measured` to snapshot and put back every registered
+    column's values around the run (a Python-level copy, invisible to
+    the simulated access trace).
+
+    Parameters
+    ----------
+    hierarchy:
+        Machine profile to run on; defaults to the scaled Origin2000
+        (the simulator-friendly profile the experiments use).  Mutually
+        exclusive with ``db``.
+    db:
+        Adopt an existing engine instance (its hierarchy becomes the
+        session profile) instead of creating a fresh one.
+    config:
+        Planner knobs (:class:`~repro.query.PlannerConfig`).
+    cache:
+        Plan cache to use; defaults to a fresh
+        :class:`~repro.session.PlanCache`.  Sessions on the same machine
+        profile may share one — keys carry the profile fingerprint.
+    """
+
+    def __init__(self, hierarchy: MemoryHierarchy | None = None,
+                 db: Database | None = None,
+                 config: PlannerConfig | None = None,
+                 cache: PlanCache | None = None) -> None:
+        if db is not None and hierarchy is not None:
+            raise ValueError(
+                "pass either hierarchy or db, not both (a Database "
+                "already carries its hierarchy)")
+        self.db = db if db is not None else Database(
+            hierarchy if hierarchy is not None else origin2000_scaled())
+        self.config = config or PlannerConfig()
+        # `cache or ...` would drop a shared cache that is still empty
+        # (PlanCache defines __len__, so an empty cache is falsy)
+        self.plan_cache = cache if cache is not None else PlanCache()
+        self._functions: dict[str, Callable] = {}
+        self._sorted: dict[str, bool] = {}
+        self._rebind(self.db.hierarchy)
+
+    def _rebind(self, hierarchy: MemoryHierarchy) -> None:
+        self.optimizer = Optimizer(hierarchy, self.config)
+        self.model = CostModel(hierarchy)
+
+    # -- profile -------------------------------------------------------
+    @property
+    def hierarchy(self) -> MemoryHierarchy:
+        return self.db.hierarchy
+
+    @property
+    def fingerprint(self) -> str:
+        """Fingerprint of the current machine profile (the profile
+        component of every plan-cache key)."""
+        return self.optimizer.fingerprint
+
+    def set_hierarchy(self, hierarchy: MemoryHierarchy) -> None:
+        """Switch the session to a new (e.g. re-calibrated) machine
+        profile.  Tables survive; cached plans for the old profile stop
+        matching (keys carry the fingerprint), and prepared statements
+        recompile transparently on their next use."""
+        self.db.set_hierarchy(hierarchy)
+        self._rebind(hierarchy)
+
+    # -- catalog -------------------------------------------------------
+    def create_table(self, name: str, values: Sequence, width: int = 8,
+                     sorted: bool = False) -> Column:
+        """Materialise ``values`` as a column and register it as a named
+        table.  ``sorted`` declares an existing physical order the
+        optimizer may exploit."""
+        column = self.db.register(
+            self.db.create_column(name, values, width=width), name)
+        self._sorted[name] = sorted
+        return column
+
+    def register_table(self, column: Column, name: str | None = None,
+                       sorted: bool = False) -> Column:
+        """Register an existing column as a named table."""
+        name = name or column.name
+        self.db.register(column, name)
+        self._sorted[name] = sorted
+        return column
+
+    def predicate(self, name: str, fn: Callable) -> Callable:
+        """Register a named predicate/key function for the text frontend
+        and for name references in the builder."""
+        self._functions[name] = fn
+        return fn
+
+    def function(self, ref: Callable | str | None) -> Callable | None:
+        """Resolve a predicate/key reference: callables pass through,
+        names look up the registry."""
+        if ref is None or callable(ref):
+            return ref
+        try:
+            return self._functions[ref]
+        except KeyError:
+            known = ", ".join(sorted(self._functions)) or "none registered"
+            raise KeyError(
+                f"no registered predicate/key function {ref!r} "
+                f"(known: {known})") from None
+
+    # -- frontends -----------------------------------------------------
+    def table(self, name: str) -> QueryBuilder:
+        """Start a fluent query from a registered table."""
+        column = self.db.column(name)
+        return QueryBuilder(self, Relation.of_column(
+            column, sorted=self._sorted.get(name, False)))
+
+    def relation(self, name: str, n: int, width: int = 8,
+                 sorted: bool = False) -> QueryBuilder:
+        """Start a fluent query from a bare region (model-only planning
+        at sizes the simulator cannot execute)."""
+        return QueryBuilder(self, Relation.of_region(
+            DataRegion(name, n=n, w=width), sorted=sorted))
+
+    def query(self, text: str) -> QueryBuilder:
+        """Parse query text (the small query language of
+        :mod:`repro.session.frontend`) against the session catalog."""
+        tables = {
+            name: Relation.of_column(column,
+                                     sorted=self._sorted.get(name, False))
+            for name, column in self.db.catalog.items()
+        }
+        return QueryBuilder(self, parse_query(text, tables=tables,
+                                              functions=self._functions))
+
+    def as_logical(self, q) -> LogicalOp:
+        """Lower any accepted query form to its logical tree."""
+        if isinstance(q, QueryBuilder):
+            return q.logical()
+        if isinstance(q, LogicalOp):
+            return q
+        if isinstance(q, str):
+            return self.query(q).logical()
+        raise TypeError(
+            f"not a query: {q!r} (expected a QueryBuilder, a LogicalOp, "
+            "or query text)")
+
+    # -- compile & run -------------------------------------------------
+    def compile(self, q) -> PlannedQuery:
+        """Enumerate/rank plans through the profile-keyed plan cache."""
+        return self.optimizer.optimize(self.as_logical(q),
+                                       cache=self.plan_cache)
+
+    def prepare(self, q) -> PreparedStatement:
+        """Compile ``q`` into a reusable prepared statement."""
+        logical = self.as_logical(q)
+        return PreparedStatement(self, logical, self.compile(logical),
+                                 self.fingerprint)
+
+    @contextmanager
+    def _restoring(self, restore: bool):
+        """Snapshot/restore registered columns' values around a run
+        (plans may sort shared base columns in place).  If the plan's
+        *result* aliases a base column (a bare sort of a table), the
+        restored values win — restore is meant for queries producing
+        derived output columns."""
+        saved = ({column: list(column.values)
+                  for column in self.db.catalog.values()} if restore else {})
+        yield
+        for column, values in saved.items():
+            column.values = values
+
+    def execute(self, q, restore: bool = False) -> Column:
+        """Compile (cached) and run the chosen plan.  ``restore=True``
+        puts registered columns' values back afterwards (see the class
+        docstring on in-place execution)."""
+        with self._restoring(restore):
+            return self.db.execute(self.compile(q).plan)
+
+    def execute_measured(self, q, cold: bool = True, restore: bool = False
+                         ) -> tuple[Column, CounterSnapshot]:
+        """Compile (cached), run, and measure the chosen plan."""
+        with self._restoring(restore):
+            return self.db.execute_measured(self.compile(q).plan, cold=cold)
+
+    def explain(self, q) -> str:
+        """Per-operator cost/pattern breakdown of the chosen plan."""
+        return self.compile(q).plan.explain(self.model,
+                                            pipeline=self.config.pipeline)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Cache statistics plus the active profile fingerprint."""
+        stats: dict[str, object] = dict(self.plan_cache.stats())
+        stats["profile"] = self.fingerprint
+        return stats
+
+    def __repr__(self) -> str:
+        return (f"Session({self.hierarchy.name!r}, "
+                f"tables={sorted(self.db.catalog)}, "
+                f"cache={self.plan_cache.stats()})")

@@ -115,6 +115,60 @@ class TestDatabase:
         db.reset()
         assert db.mem.accesses == 0
 
+    def test_execute_measured_cold_resets_counters(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", list(range(16)), width=8)
+        scan(db, col)  # pollute caches and counters
+        assert db.mem.accesses == 16
+
+        class ScanPlan:
+            def execute(self, database):
+                return scan(database, col)
+
+        _, delta = db.execute_measured(ScanPlan())
+        # cold=True resets first: the delta is the plan's own accesses
+        # and the global counters restart from zero
+        assert delta.accesses == 16
+        assert db.mem.accesses == 16
+
+    def test_execute_measured_warm_keeps_state(self, tiny):
+        """``cold=False`` must not reset: counters accumulate across
+        runs and the second (warm-cache) run misses less."""
+        db = Database(tiny)
+        col = db.create_column("a", list(range(16)), width=8)
+
+        class ScanPlan:
+            def execute(self, database):
+                return scan(database, col)
+
+        _, cold_delta = db.execute_measured(ScanPlan())
+        _, warm_delta = db.execute_measured(ScanPlan(), cold=False)
+        # no reset happened: global counters hold both runs' accesses
+        assert db.mem.accesses == cold_delta.accesses + warm_delta.accesses
+        # the column is L1/L2-resident after the cold run
+        assert warm_delta.misses("L1") < cold_delta.misses("L1")
+        assert warm_delta.elapsed_ns < cold_delta.elapsed_ns
+
+    def test_register_and_lookup_catalog(self, tiny):
+        db = Database(tiny)
+        col = db.create_column("a", [1, 2], width=8)
+        assert db.register(col) is col
+        assert db.column("a") is col
+        db.register(col, name="alias")
+        assert db.column("alias") is col
+        with pytest.raises(KeyError, match="no registered table"):
+            db.column("missing")
+
+    def test_set_hierarchy_keeps_catalog_and_data(self, tiny):
+        from repro.hardware import origin2000_scaled
+        db = Database(tiny)
+        col = db.register(db.create_column("a", [3, 1, 2], width=8))
+        scan(db, col)
+        db.set_hierarchy(origin2000_scaled())
+        assert db.hierarchy.name != tiny.name
+        assert db.column("a").values == [3, 1, 2]
+        assert db.mem.accesses == 0  # fresh (cold) memory system
+
 
 class TestScanSelectProject:
     def test_scan_checksum(self, tiny):

@@ -187,14 +187,49 @@ class TestCostDerivation:
                                            selectivity=1.0))
         assert "s_trav+(U) ⊙ s_trav+(σ(U))" in select_plan.explain(model)
 
+    def test_explain_structure_and_clipping(self, db, scaled):
+        """One line per operator (post-order, scans marked access-free
+        with —), a whole-plan total, and notation clipped to the
+        requested width."""
+        model = CostModel(scaled)
+        left = db.create_column("U", sorted_ints(256), width=8)
+        right = db.create_column("V", sorted_ints(256), width=8)
+        plan = QueryPlan(AggregateNode(
+            ProjectNode(HashJoinNode(ScanNode(left), ScanNode(right))),
+            groups=16))
+        text = plan.explain(model)
+        lines = text.splitlines()
+        assert lines[0] == "plan (post-order):"
+        # 5 operator lines + header + total
+        assert len(lines) == 7
+        assert lines[-1].strip().startswith("total")
+        assert "T_mem" in lines[-1]
+        # bare scans perform no access of their own
+        assert sum("—" in line for line in lines) == 2
+        # every operator line carries a T_mem figure and the out
+        # cardinality of its node
+        for line in lines[1:-1]:
+            assert "T_mem" in line and "out n=" in line
+        # aggressive clipping shortens every notation to the ellipsis
+        clipped = plan.explain(model, notation_width=8)
+        assert any(line.rstrip().endswith("…")
+                   for line in clipped.splitlines())
+
     def test_invalid_selectivity_rejected(self, db):
         col = db.create_column("U", [1], width=8)
         with pytest.raises(ValueError):
             SelectNode(ScanNode(col), lambda v: True, selectivity=0.0)
 
     def test_plan_shim_module_still_imports(self):
-        from repro.query.plan import HashJoinNode as shim_hash
+        with pytest.warns(DeprecationWarning,
+                          match="repro.query.physical"):
+            from repro.query.plan import HashJoinNode as shim_hash
         assert shim_hash is HashJoinNode
+
+    def test_plan_shim_rejects_unknown_names(self):
+        import repro.query.plan as shim
+        with pytest.raises(AttributeError):
+            shim.NoSuchNode
 
     def test_hash_regions_follow_engine_capacity_policy(self, db):
         """The plan layer's hash regions match what the engine actually

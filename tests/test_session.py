@@ -1,0 +1,423 @@
+"""The session façade: fluent builder, text frontend, prepared
+statements, and the profile-keyed plan cache.
+
+Acceptance: the same query expressed via the fluent builder, the text
+frontend, and the explicit logical algebra yields an identical chosen
+physical plan and an identical result column; a prepared statement's
+re-compilation hits the cache (skipping enumeration) and a profile
+change silently retires cached plans.
+"""
+
+import pytest
+
+from repro.db import Database, random_permutation
+from repro.hardware import (
+    origin2000_scaled,
+    profile_fingerprint,
+    tiny_test_machine,
+)
+from repro.query import (
+    Aggregate,
+    Filter,
+    Join,
+    Optimizer,
+    PlannerConfig,
+    Relation,
+    Sort,
+)
+from repro.session import (
+    PlanCache,
+    PreparedStatement,
+    QueryBuilder,
+    QuerySyntaxError,
+    Session,
+    parse_query,
+)
+
+N = 512
+GROUPS = 256
+
+QUERY_TEXT = ("aggregate(join(filter(orders, even, sel=0.5), customers), "
+              f"groups={GROUPS})")
+
+
+@pytest.fixture
+def session(scaled):
+    s = Session(scaled)
+    s.create_table("orders", random_permutation(N, seed=1))
+    s.create_table("customers", random_permutation(N, seed=2))
+    s.create_table("nations", list(range(64)), sorted=True)
+    s.predicate("even", lambda v: v % 2 == 0)
+    return s
+
+
+def builder_query(s):
+    return (s.table("orders").filter("even", selectivity=0.5)
+            .join(s.table("customers")).group_by(groups=GROUPS).agg("count"))
+
+
+def algebra_query(s):
+    return Aggregate(
+        Join(Filter(Relation.of_column(s.db.column("orders")),
+                    s.function("even"), selectivity=0.5),
+             Relation.of_column(s.db.column("customers"))),
+        groups=GROUPS)
+
+
+def execute_restoring(s, q):
+    """Execute and return the result values; ``restore=True`` puts the
+    base columns back (chosen plans may sort them in place)."""
+    return list(s.execute(q, restore=True).values)
+
+
+class TestCanonicalKeys:
+    def test_same_tree_same_key(self, session):
+        assert (builder_query(session).canonical_key()
+                == algebra_query(session).canonical_key()
+                == session.query(QUERY_TEXT).canonical_key())
+
+    def test_hints_change_the_key(self, session):
+        base = session.table("orders").filter("even", selectivity=0.5)
+        assert (base.canonical_key()
+                != session.table("orders").filter("even", selectivity=0.25)
+                .canonical_key())
+        j = session.table("orders").join("customers")
+        assert (j.canonical_key()
+                != session.table("orders").join("customers", match=0.5)
+                .canonical_key())
+
+    def test_int_valued_hints_normalize(self, session):
+        """sel=1 (int, hand-assembled) and sel=1.0 (the text frontend's
+        float) must render one key."""
+        even = session.function("even")
+        by_hand = Filter(Relation.of_column(session.db.column("orders")),
+                         even, selectivity=1)
+        by_text = session.query("filter(orders, even, sel=1)").logical()
+        assert by_hand.canonical_key() == by_text.canonical_key()
+        hand_join = Join(Relation.of_column(session.db.column("orders")),
+                         Relation.of_column(session.db.column("customers")),
+                         match_fraction=1)
+        assert (hand_join.canonical_key()
+                == session.query("join(orders, customers)").canonical_key())
+
+    def test_predicate_identity_matters(self, session):
+        """Two distinct callables never collide, even if equal in
+        effect — a cached plan embeds the callable it was compiled
+        with."""
+        a = session.table("orders").filter(lambda v: v > 0)
+        b = session.table("orders").filter(lambda v: v > 0)
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_sort_and_key_of_in_key(self, session):
+        sorted_key = session.table("nations").canonical_key()
+        assert "sorted=1" in sorted_key
+        key_of = session.function("even")
+        agg = session.table("orders").group_by(groups=4, key=key_of).count()
+        assert "key=-" not in agg.canonical_key()
+        plain = session.table("orders").aggregate(groups=4)
+        assert "key=-" in plain.canonical_key()
+        assert agg.canonical_key() != plain.canonical_key()
+
+
+class TestBuilder:
+    def test_lowers_to_logical_algebra(self, session):
+        logical = builder_query(session).logical()
+        assert isinstance(logical, Aggregate)
+        assert isinstance(logical.child, Join)
+        assert isinstance(logical.child.left, Filter)
+        assert logical.child.left.selectivity == 0.5
+        assert logical.groups == GROUPS
+
+    def test_builders_are_immutable(self, session):
+        base = session.table("orders")
+        filtered = base.filter("even")
+        assert base.logical() is not filtered.logical()
+        assert isinstance(base.logical(), Relation)
+
+    def test_join_accepts_name_builder_and_tree(self, session):
+        by_name = session.table("orders").join("customers")
+        by_builder = session.table("orders").join(session.table("customers"))
+        by_tree = session.table("orders").join(
+            Relation.of_column(session.db.column("customers")))
+        assert (by_name.canonical_key() == by_builder.canonical_key()
+                == by_tree.canonical_key())
+
+    def test_sort_builds_sort_node(self, session):
+        q = session.table("orders").sort()
+        assert isinstance(q.logical(), Sort)
+
+    def test_unknown_aggregate_rejected(self, session):
+        with pytest.raises(ValueError, match="unsupported aggregate"):
+            session.table("orders").group_by(groups=4).agg("sum")
+
+    def test_unknown_function_name_rejected(self, session):
+        with pytest.raises(KeyError, match="no registered predicate"):
+            session.table("orders").filter("odd")
+
+    def test_relation_builder_is_model_only(self, session):
+        q = session.relation("big", n=1_000_000).join(
+            session.relation("huge", n=1_000_000))
+        planned = session.compile(q)
+        assert planned.best.total_ns > 0
+
+    def test_describe_and_repr(self, session):
+        q = builder_query(session)
+        assert "aggregate" in q.describe()
+        assert "QueryBuilder" in repr(q)
+
+
+class TestTextFrontend:
+    def test_parses_full_query(self, session):
+        q = session.query(QUERY_TEXT)
+        assert q.canonical_key() == builder_query(session).canonical_key()
+
+    def test_defaults_match_algebra_defaults(self, session):
+        logical = session.query("filter(orders, even)").logical()
+        assert logical.selectivity == 0.5
+        logical = session.query("join(orders, customers)").logical()
+        assert logical.match_fraction == 1.0
+        logical = session.query("aggregate(orders)").logical()
+        assert logical.groups == 64
+
+    def test_aliases_and_keywords(self, session):
+        for text in (f"agg(orders, groups={GROUPS})",
+                     f"group(orders, groups={GROUPS})",
+                     f"group_by(orders, groups={GROUPS})"):
+            assert session.query(text).logical().groups == GROUPS
+        logical = session.query(
+            "join(orders, customers, match_fraction=0.5)").logical()
+        assert logical.match_fraction == 0.5
+
+    def test_sort_and_key(self, session):
+        logical = session.query("sort(filter(orders, even))").logical()
+        assert isinstance(logical, Sort)
+        logical = session.query("agg(orders, groups=4, key=even)").logical()
+        assert logical.key_of is session.function("even")
+
+    @pytest.mark.parametrize("text, message", [
+        ("", "empty query"),
+        ("missing", "unknown table"),
+        ("filter(orders, odd)", "unknown predicate"),
+        ("frobnicate(orders)", "unknown operator"),
+        ("join(orders customers)", "expected"),
+        ("filter(orders, even) trailing", "trailing input"),
+        ("filter(orders, even, wat=1)", "unknown keyword"),
+        ("filter(orders, even, sel=even)", "expected a number"),
+        ("join(orders, customers, match=0.5) ?", "unexpected character"),
+    ])
+    def test_errors(self, session, text, message):
+        with pytest.raises(QuerySyntaxError, match=message):
+            session.query(text)
+
+    def test_parse_query_standalone(self, scaled):
+        """The parser works against explicit registries (no session)."""
+        region = Relation.of_region(
+            __import__("repro.core", fromlist=["DataRegion"])
+            .DataRegion("R", 1000, 8))
+        logical = parse_query("filter(r, keep, sel=0.25)",
+                              tables={"r": region},
+                              functions={"keep": lambda v: True})
+        assert logical.selectivity == 0.25
+        assert logical.child is region
+
+
+class TestThreeFrontendsAgree:
+    """Acceptance criterion: identical chosen plan, identical result."""
+
+    def test_identical_chosen_plan_and_result(self, session):
+        prepared = [session.prepare(q) for q in
+                    (builder_query(session), session.query(QUERY_TEXT),
+                     algebra_query(session))]
+        signatures = {p.planned.best.signature for p in prepared}
+        assert len(signatures) == 1
+        # one shared cache entry: the same compiled object serves all
+        assert (prepared[0].planned is prepared[1].planned
+                is prepared[2].planned)
+        results = [execute_restoring(session, q) for q in
+                   (builder_query(session), QUERY_TEXT,
+                    algebra_query(session))]
+        assert results[0] == results[1] == results[2]
+        assert sum(count for _, count in results[0]) == N // 2
+
+    def test_explicit_algebra_without_session_matches(self, session,
+                                                      scaled):
+        """The pre-session path (bare Optimizer, no cache) chooses the
+        same plan as the session façade."""
+        planned = Optimizer(scaled).optimize(
+            algebra_query(session).logical()
+            if isinstance(algebra_query(session), QueryBuilder)
+            else algebra_query(session))
+        assert (planned.best.signature
+                == session.compile(QUERY_TEXT).best.signature)
+
+
+class TestPreparedStatements:
+    def test_prepare_execute_explain(self, session):
+        stmt = session.prepare(QUERY_TEXT)
+        assert isinstance(stmt, PreparedStatement)
+        out = stmt.execute()
+        assert len(out.values) == GROUPS
+        text = stmt.explain()
+        assert "T_mem" in text and "plan (post-order):" in text
+        assert "candidate plans" in stmt.summary()
+
+    def test_reprepare_hits_cache(self, session):
+        first = session.prepare(QUERY_TEXT)
+        assert session.plan_cache.stats()["misses"] == 1
+        second = session.prepare(QUERY_TEXT)
+        assert second.planned is first.planned
+        stats = session.plan_cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_execute_measured_warm_vs_cold(self, session):
+        """``cold=False`` must not reset: the global counters keep
+        accumulating across prepared re-executions."""
+        stmt = session.prepare("filter(orders, even, sel=0.5)")
+        _, cold = stmt.execute_measured()
+        _, warm = stmt.execute_measured(cold=False)
+        assert (session.db.mem.accesses
+                == cold.accesses + warm.accesses)
+
+    def test_profile_change_recompiles(self, session):
+        stmt = session.prepare(QUERY_TEXT)
+        old_fingerprint = stmt.fingerprint
+        old_planned = stmt.planned
+        session.set_hierarchy(tiny_test_machine())
+        out = stmt.execute()  # transparently recompiled
+        assert len(out.values) == GROUPS
+        assert stmt.fingerprint != old_fingerprint
+        assert stmt.fingerprint == session.fingerprint
+        assert stmt.planned is not old_planned
+        # both compilations are cached, each under its own profile
+        assert len(session.plan_cache) == 2
+        assert session.plan_cache.stats()["misses"] == 2
+
+    def test_returning_to_old_profile_hits_old_entry(self, session,
+                                                     scaled):
+        stmt = session.prepare(QUERY_TEXT)
+        session.set_hierarchy(tiny_test_machine())
+        stmt.execute()
+        session.set_hierarchy(scaled)
+        session.prepare(QUERY_TEXT)
+        assert session.plan_cache.stats()["hits"] == 1
+
+
+class TestPlanCache:
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes a
+        cache.put("c", 3)           # evicts b
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert len(cache) == 2
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_shared_cache_across_sessions(self, scaled):
+        """Sessions on one profile may share a cache; keys embed the
+        column identities, so same-named tables in different databases
+        never collide."""
+        cache = PlanCache()
+        sessions = []
+        for seed in (1, 2):
+            s = Session(scaled, cache=cache)
+            s.create_table("orders", random_permutation(128, seed=seed))
+            sessions.append(s)
+        a = sessions[0].compile("aggregate(orders, groups=128)")
+        b = sessions[1].compile("aggregate(orders, groups=128)")
+        assert a is not b
+        assert cache.stats()["misses"] == 2 and cache.stats()["hits"] == 0
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert (profile_fingerprint(origin2000_scaled())
+                == profile_fingerprint(origin2000_scaled())
+                == origin2000_scaled().fingerprint())
+
+    def test_distinguishes_profiles(self):
+        assert (profile_fingerprint(origin2000_scaled())
+                != profile_fingerprint(tiny_test_machine()))
+        assert (profile_fingerprint(origin2000_scaled())
+                != profile_fingerprint(
+                    origin2000_scaled().scaled_capacities(2)))
+
+
+class TestSessionLifecycle:
+    def test_rejects_both_hierarchy_and_db(self, scaled):
+        with pytest.raises(ValueError, match="not both"):
+            Session(scaled, db=Database(scaled))
+
+    def test_adopts_existing_database(self, scaled):
+        db = Database(scaled)
+        col = db.create_column("orders", [v % 16 for v in range(64)])
+        s = Session(db=db)
+        s.register_table(col)
+        assert len(s.execute("aggregate(orders, groups=16)").values) == 16
+
+    def test_rejects_non_queries(self, session):
+        with pytest.raises(TypeError, match="not a query"):
+            session.compile(42)
+
+    def test_optimizer_is_shared_and_reentrant(self, session, scaled):
+        """One Optimizer instance serves interleaved compilations for
+        several caches without cross-talk."""
+        opt = Optimizer(scaled, PlannerConfig())
+        logical = builder_query(session).logical()
+        cache_a, cache_b = PlanCache(), PlanCache()
+        first_a = opt.optimize(logical, cache=cache_a)
+        first_b = opt.optimize(logical, cache=cache_b)
+        assert first_a is not first_b
+        assert opt.optimize(logical, cache=cache_a) is first_a
+        assert opt.optimize(logical, cache=cache_b) is first_b
+        assert cache_a.stats() == cache_b.stats() == {
+            "entries": 1, "hits": 1, "misses": 1}
+
+    def test_custom_registry_keys_separately(self, session, scaled):
+        """A shared cache never serves plans enumerated under someone
+        else's advisor registry."""
+        from repro.optimizer import default_registry
+        logical = builder_query(session).logical()
+        cache = PlanCache()
+        Optimizer(scaled).optimize(logical, cache=cache)
+        Optimizer(scaled,
+                  registry=default_registry(scaled)).optimize(logical,
+                                                              cache=cache)
+        assert cache.stats()["misses"] == 2 and cache.stats()["hits"] == 0
+        # two default-registry optimizers on one profile do share
+        Optimizer(scaled).optimize(logical, cache=cache)
+        assert cache.stats()["hits"] == 1
+
+    def test_execute_restore_puts_base_columns_back(self, session):
+        """``restore=True`` undoes the in-place sorts a chosen plan
+        applies to shared base columns."""
+        before = list(session.db.column("orders").values)
+        assert before != sorted(before)
+        session.execute("sort(orders)")  # quick-sorts the base in place
+        assert session.db.column("orders").values == sorted(before)
+        session.db.column("orders").values = list(before)
+        out = session.execute("sort(orders)", restore=True)
+        assert session.db.column("orders").values == before
+        # a bare sort's result IS the base column, so the restored
+        # values win (documented alias behaviour)
+        assert out is session.db.column("orders")
+        # derived results (new output columns) survive the restore
+        groups = session.execute(
+            "aggregate(join(orders, customers), groups=%d)" % N,
+            restore=True)
+        assert len(groups.values) == N
+        assert session.db.column("orders").values == before
+
+    def test_repr_and_stats(self, session):
+        assert "Session(" in repr(session)
+        stats = session.stats()
+        assert stats["profile"] == session.fingerprint
