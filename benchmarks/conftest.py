@@ -4,15 +4,35 @@ Every bench regenerates one table or figure of the paper: it runs the
 experiment (simulator-measured vs model-predicted), saves the rendered
 series under ``benchmarks/results/`` and prints it, so both the
 pytest-benchmark timing table and the reproduced series are available.
+
+Benches that honour the shared ``quick`` fixture (``--quick`` on the
+command line, or ``REPRO_BENCH_QUICK=1`` in the environment) run a
+reduced-size variant of the experiment — the CI smoke setting, which
+*executes* a bench end to end instead of only collecting it.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="run benchmarks at reduced size (CI smoke setting; "
+             "equivalent to REPRO_BENCH_QUICK=1)")
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """Whether to run the reduced-size variant of an experiment."""
+    return bool(request.config.getoption("--quick")
+                or os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0"))
 
 
 @pytest.fixture(scope="session")

@@ -23,7 +23,8 @@ from .misses import LevelGeometry, MissPair, basic_pattern_misses
 from .patterns import BasicPattern, Conc, Pattern, RTrav, Seq, STrav
 from .state import CacheState
 
-__all__ = ["CostModel", "CostEstimate", "LevelCost", "footprint_lines"]
+__all__ = ["CostModel", "CostEstimate", "LevelCost", "footprint_lines",
+           "cache_shares"]
 
 
 def footprint_lines(pattern: Pattern, line_size: int) -> float:
@@ -50,6 +51,22 @@ def footprint_lines(pattern: Pattern, line_size: int) -> float:
     if isinstance(pattern, Conc):
         return sum(footprint_lines(p, line_size) for p in pattern.parts)
     raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def cache_shares(parts: "list[Pattern] | tuple[Pattern, ...]",
+                 line_size: int) -> list[float]:
+    """The cache fraction each concurrent part receives under ⊙
+    (Eq. 5.3): proportional to the parts' footprints, equal when every
+    footprint is zero.  Exposed for external co-run composition — the
+    workload scheduler uses it to reason about contention without
+    re-deriving the division rule."""
+    if not parts:
+        raise ValueError("cache_shares needs at least one pattern")
+    prints = [footprint_lines(p, line_size) for p in parts]
+    total = sum(prints)
+    if total <= 0:
+        return [1.0 / len(prints)] * len(prints)
+    return [fp / total for fp in prints]
 
 
 @dataclass(frozen=True)
@@ -155,6 +172,32 @@ class CostModel:
             for level in self.hierarchy.all_levels
         }
 
+    def concurrent_estimates(self, parts: "list[Pattern] | tuple[Pattern, ...]"
+                             ) -> tuple[CostEstimate, ...]:
+        """Per-part cost of running ``parts`` concurrently (⊙).
+
+        Each part is priced against its Eq. 5.3 share of every level —
+        exactly the division :meth:`estimate` applies to
+        ``Conc.of(*parts)``, so the per-part memory times sum to the
+        compound's total.  This is the attribution the workload service
+        needs: the compound estimate says what a co-run *batch* costs,
+        these say what each *member* contributes (its inflated, not
+        standalone, cost)."""
+        per_part_levels: list[list[LevelCost]] = [[] for _ in parts]
+        for level in self.hierarchy.all_levels:
+            geo = LevelGeometry(
+                line_size=level.line_size,
+                capacity=float(level.capacity),
+                num_lines=float(level.num_lines),
+            )
+            shares = cache_shares(parts, geo.line_size)
+            for i, (part, share) in enumerate(zip(parts, shares)):
+                part_geo = geo.scaled(max(share, 1e-9))
+                pair, _ = self._evaluate(part, part_geo, CacheState.empty())
+                per_part_levels[i].append(LevelCost(level=level, misses=pair))
+        return tuple(CostEstimate(levels=tuple(levels))
+                     for levels in per_part_levels)
+
     # ------------------------------------------------------------------
     def _evaluate(self, pattern: Pattern, geo: LevelGeometry,
                   state: CacheState) -> tuple[MissPair, CacheState]:
@@ -193,12 +236,10 @@ class CostModel:
     def _evaluate_concurrent(self, pattern: Conc, geo: LevelGeometry,
                              state: CacheState) -> tuple[MissPair, CacheState]:
         """Eq. 5.3: divide the cache among parts by footprint."""
-        prints = [footprint_lines(p, geo.line_size) for p in pattern.parts]
-        total_print = sum(prints)
+        shares = cache_shares(pattern.parts, geo.line_size)
         total = MissPair()
         result_state = CacheState.empty()
-        for part, fp in zip(pattern.parts, prints):
-            fraction = fp / total_print if total_print > 0 else 1.0 / len(prints)
+        for part, fraction in zip(pattern.parts, shares):
             part_geo = geo.scaled(max(fraction, 1e-9))
             pair, part_state = self._evaluate(part, part_geo, state)
             total = total + pair

@@ -40,6 +40,8 @@ __all__ = [
     "Nest",
     "Seq",
     "Conc",
+    "seq",
+    "conc",
     "UNI",
     "BI",
     "SEQUENTIAL",
@@ -293,7 +295,18 @@ class _Compound(Pattern):
     @classmethod
     def of(cls, *parts: Pattern) -> "_Compound":
         """Build, flattening nested compounds of the same kind
-        (both ⊕ and ⊙ are associative; ⊙ is also commutative)."""
+        (both ⊕ and ⊙ are associative; ⊙ is also commutative).
+
+        Flattening is one level deep per call, which suffices for
+        incremental composition: growing a compound one part at a time
+        (``Conc.of(Conc.of(a, b), c)``, or equivalently ``a * b * c``)
+        always yields the flat ``(a, b, c)``, because the inner compound
+        was itself built flat.  Only the *direct constructor*
+        (``Conc(Conc(...), c)``) preserves nesting — the cost evaluator
+        divides the cache identically either way (⊙ sharing is
+        proportional, hence associative), but canonical flat parts are
+        what notation, equality and the schedulers rely on.
+        """
         flat: list[Pattern] = []
         for part in parts:
             if type(part) is cls:
@@ -336,3 +349,33 @@ class Conc(_Compound):
     footprints (Section 5.2)."""
 
     _symbol = "⊙"
+
+
+def seq(*parts: Pattern | None) -> Pattern | None:
+    """``⊕``-combine the non-``None`` parts.
+
+    ``None`` parts (access-free plan stages, e.g. bare scans) are
+    skipped; a single surviving part is returned unwrapped, and ``None``
+    is returned when nothing remains.  This is the composition helper
+    external layers (plan composition, the concurrent workload service)
+    use to assemble patterns without special-casing emptiness.
+    """
+    present = [p for p in parts if p is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    return Seq.of(*present)
+
+
+def conc(*parts: Pattern | None) -> Pattern | None:
+    """``⊙``-combine the non-``None`` parts (same conventions as
+    :func:`seq`).  Composing the whole patterns of queries that are to
+    run *concurrently* under one ``conc`` is exactly the paper's
+    Section 5.2 model of inter-query cache contention."""
+    present = [p for p in parts if p is not None]
+    if not present:
+        return None
+    if len(present) == 1:
+        return present[0]
+    return Conc.of(*present)

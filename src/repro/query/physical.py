@@ -53,7 +53,7 @@ from ..core.algorithms import (
 )
 from ..core.cost import CostEstimate, CostModel
 from ..core.cpu import cpu_cycles, sort_depth
-from ..core.patterns import Conc, Pattern, STrav, Seq
+from ..core.patterns import Conc, Pattern, STrav, Seq, conc, seq
 from ..core.regions import DataRegion
 from ..db.aggregate import hash_aggregate, sort_aggregate
 from ..db.column import Column
@@ -79,24 +79,11 @@ __all__ = [
 ]
 
 
-def _seq(*parts: Pattern | None) -> Pattern | None:
-    """``⊕``-combine the non-``None`` parts (``None`` if none remain)."""
-    present = [p for p in parts if p is not None]
-    if not present:
-        return None
-    if len(present) == 1:
-        return present[0]
-    return Seq.of(*present)
-
-
-def _conc(*parts: Pattern | None) -> Pattern | None:
-    """``⊙``-combine the non-``None`` parts (``None`` if none remain)."""
-    present = [p for p in parts if p is not None]
-    if not present:
-        return None
-    if len(present) == 1:
-        return present[0]
-    return Conc.of(*present)
+# ``None``-skipping composition lives in the pattern language itself
+# (:func:`repro.core.seq` / :func:`repro.core.conc`); these aliases keep
+# the composition code below readable.
+_seq = seq
+_conc = conc
 
 
 def _compose_edge(child: "PlanNode", phase: Pattern | None,
@@ -875,6 +862,22 @@ class QueryPlan:
                     "the plan performs no data access (bare scan)")
             self._patterns[pipeline] = pattern
         return self._patterns[pipeline]
+
+    def pipeline_stages(self, pipeline: bool = True) -> tuple[Pattern, ...]:
+        """The plan's pattern as its top-level ``⊕`` stages, in
+        execution order.
+
+        Each stage is one barrier-separated phase of the plan — a
+        pipeline of ``⊙``-overlapped operators, or a single blocking
+        operator's pass.  One stage at a time occupies the cache, which
+        is why a plan's footprint under external ``⊙`` composition is
+        its *maximum* stage footprint, not the sum: this is the
+        extraction hook the concurrent workload service composes co-run
+        candidates from."""
+        pattern = self.pattern(pipeline)
+        if isinstance(pattern, Seq):
+            return pattern.parts
+        return (pattern,)
 
     def cpu_cycles(self) -> float:
         """Whole-plan calibrated CPU cycles (shared Eq. 6.1 constants)."""

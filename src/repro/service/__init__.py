@@ -1,0 +1,55 @@
+"""Concurrent workload service: interference-aware scheduling via ⊙.
+
+The paper's concurrent-execution operator ``⊙`` (Section 5.2) models
+access patterns competing for a cache, dividing its capacity
+proportionally to the patterns' footprints.  PR 1 applied it *within*
+one query (pipelined producer/consumer edges); this subsystem applies
+it *between* queries: composing the whole-plan patterns of queries that
+are to run concurrently under one ``⊙`` predicts the batch's contention
+slowdown — and a scheduler that trusts the prediction can decide which
+queries may share the machine.
+
+* :mod:`repro.service.workload` — deterministic seeded multi-client
+  query streams over a shared :class:`~repro.session.Session` catalog,
+* :mod:`repro.service.interference` — the ⊙ co-run cost model
+  (:class:`InterferenceModel`, :class:`CoRunPrediction`),
+* :mod:`repro.service.scheduler` — admission control and batch
+  selection (:class:`FifoSerialPolicy`, :class:`MaxParallelPolicy`,
+  :class:`InterferenceAwarePolicy`),
+* :mod:`repro.service.executor` — the simulated-time multi-client
+  executor (record each plan's access trace, replay co-run batches
+  interleaved through one shared memory system),
+* :mod:`repro.service.metrics` — per-query/per-batch metrics and the
+  rendered :class:`WorkloadReport`.
+"""
+
+from .executor import ServiceExecutor, TraceRecorder, replay_interleaved
+from .interference import CoRunPrediction, InterferenceModel
+from .metrics import BatchMetrics, QueryMetrics, WorkloadReport, percentile
+from .scheduler import (
+    FifoSerialPolicy,
+    InterferenceAwarePolicy,
+    MaxParallelPolicy,
+    SchedulePolicy,
+    Task,
+)
+from .workload import WorkloadGenerator, WorkloadQuery
+
+__all__ = [
+    "WorkloadGenerator",
+    "WorkloadQuery",
+    "InterferenceModel",
+    "CoRunPrediction",
+    "SchedulePolicy",
+    "FifoSerialPolicy",
+    "MaxParallelPolicy",
+    "InterferenceAwarePolicy",
+    "Task",
+    "ServiceExecutor",
+    "TraceRecorder",
+    "replay_interleaved",
+    "QueryMetrics",
+    "BatchMetrics",
+    "WorkloadReport",
+    "percentile",
+]

@@ -1,0 +1,252 @@
+"""Simulated-time multi-client execution over one shared engine.
+
+The trace-driven simulator executes one access at a time, so
+*concurrency* is simulated the way the ⊙ model describes it: record
+each plan's access trace (the exact sequence of ``(address, nbytes)``
+the engine's operators issue), then replay a batch's traces
+**interleaved round-robin** through a single cold
+:class:`~repro.simulator.MemorySystem`.  The interleaved replay makes
+the co-runners genuinely compete for every cache level — the measured
+counterpart of composing their patterns under ``⊙``.
+
+Recording happens against the shared :class:`~repro.db.Database` (one
+address space, so two queries over one table really do share lines),
+with base-column values snapshot/restored around each run: sort-based
+operators reorder shared base columns in place, and every batch member
+must observe the same base state — concurrent execution over one
+snapshot.
+
+Timing follows :mod:`repro.service.interference`: per batch,
+``makespan = max(Σ mem_i, max_i (cpu_i + mem_i))`` with ``mem_i``
+query ``i``'s share of the replayed (contended) memory time — memory
+latencies serialize on the shared hierarchy, CPU overlaps other
+queries' stalls.  Batches execute in sequence on a simulated clock.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..db.context import Database
+from ..hardware.hierarchy import MemoryHierarchy
+from ..query.optimizer import plan_signature
+from ..query.physical import QueryPlan
+from ..session import Session
+from ..simulator.memory import MemorySystem
+from .interference import InterferenceModel
+from .metrics import BatchMetrics, QueryMetrics, WorkloadReport
+from .scheduler import SchedulePolicy, Task
+from .workload import WorkloadQuery
+
+__all__ = ["TraceRecorder", "record_trace", "replay_interleaved",
+           "BatchReplay", "ServiceExecutor"]
+
+
+class TraceRecorder:
+    """A stand-in for :class:`~repro.simulator.MemorySystem` that
+    records the access trace instead of simulating it (operators only
+    ever call :meth:`access`/:meth:`read`/:meth:`write`)."""
+
+    __slots__ = ("trace",)
+
+    def __init__(self) -> None:
+        self.trace: list[tuple[int, int]] = []
+
+    def access(self, addr: int, nbytes: int = 1, write: bool = False) -> None:
+        self.trace.append((addr, nbytes))
+
+    def read(self, addr: int, nbytes: int = 1) -> None:
+        self.access(addr, nbytes)
+
+    def write(self, addr: int, nbytes: int = 1) -> None:
+        self.access(addr, nbytes, write=True)
+
+
+@contextmanager
+def _restored_columns(db: Database):
+    """Snapshot/restore registered columns' values (in-place sorts must
+    not leak between recordings; the copy is Python-level and invisible
+    to the simulated trace)."""
+    saved = {column: list(column.values) for column in db.catalog.values()}
+    try:
+        yield
+    finally:
+        for column, values in saved.items():
+            column.values = values
+
+
+def record_trace(db: Database, plan: QueryPlan) -> list[tuple[int, int]]:
+    """Execute ``plan`` against ``db`` with a recording memory system
+    and return its access trace.  Base columns are restored afterwards,
+    so every batch member records against the same base state."""
+    recorder = TraceRecorder()
+    real = db.mem
+    with _restored_columns(db):
+        db.mem = recorder
+        try:
+            plan.execute(db)
+        finally:
+            db.mem = real
+    return recorder.trace
+
+
+@dataclass(frozen=True)
+class BatchReplay:
+    """The measured outcome of one interleaved batch replay."""
+
+    #: Total memory time of the batch (sum of all attributed latencies).
+    total_ns: float
+    #: Memory time attributed to each trace's own accesses.
+    memory_ns: tuple[float, ...]
+    #: Elapsed (shared-clock) time at which each trace finished.
+    finish_ns: tuple[float, ...]
+
+
+#: Default time-slice length (accesses per turn) of the interleaved
+#: replay.  The ⊙ model divides capacity as if each co-runner keeps a
+#: steady working partition; a quantum of one access instead models
+#: adversarial per-access alternation (SMT worst case), where the
+#: competitors evict each other's hot lines *between consecutive
+#: accesses* — measurably worse than proportional sharing, especially
+#: for the 8-entry TLB.  A quantum of tens of accesses corresponds to
+#: the scheduler-granularity time-slicing a query service actually
+#: exhibits, and is the regime the Section 5.2 division describes.
+DEFAULT_QUANTUM = 64
+
+
+def replay_interleaved(hierarchy: MemoryHierarchy,
+                       traces: Sequence[Sequence[tuple[int, int]]],
+                       quantum: int = DEFAULT_QUANTUM) -> BatchReplay:
+    """Replay ``traces`` round-robin (``quantum`` accesses per active
+    trace per turn) through one cold
+    :class:`~repro.simulator.MemorySystem`.
+
+    Round-robin interleaving is the fair time-slicing ⊙ assumes: every
+    co-runner advances at the same access rate while all compete for
+    the same caches.  Shorter traces drop out as they finish, leaving
+    the remainder more of the cache — the same asymmetry the footprint
+    division models.
+    """
+    if quantum < 1:
+        raise ValueError("quantum must be positive")
+    mem = MemorySystem(hierarchy)
+    n = len(traces)
+    memory = [0.0] * n
+    finish = [0.0] * n
+    positions = [0] * n
+    active = [i for i in range(n) if len(traces[i]) > 0]
+    while active:
+        still_active = []
+        for i in active:
+            trace = traces[i]
+            end = min(positions[i] + quantum, len(trace))
+            before = mem.elapsed_ns
+            for j in range(positions[i], end):
+                addr, nbytes = trace[j]
+                mem.access(addr, nbytes)
+            memory[i] += mem.elapsed_ns - before
+            positions[i] = end
+            if end < len(trace):
+                still_active.append(i)
+            else:
+                finish[i] = mem.elapsed_ns
+        active = still_active
+    return BatchReplay(total_ns=mem.elapsed_ns,
+                       memory_ns=tuple(memory),
+                       finish_ns=tuple(finish))
+
+
+class ServiceExecutor:
+    """Drives a workload through compile → schedule → co-run replay.
+
+    Parameters
+    ----------
+    session:
+        The root session owning the shared engine, catalog, and plan
+        cache.  Each client gets its own :meth:`~Session.spawn`-ed
+        session over the same engine and cache, so compile provenance
+        (hit/miss) is tracked per client while plans are shared.
+    policy:
+        The scheduling policy (see :mod:`repro.service.scheduler`).
+    quantum:
+        Time-slice length of the interleaved replay (accesses per
+        co-runner per turn; see :data:`DEFAULT_QUANTUM`).
+    """
+
+    def __init__(self, session: Session, policy: SchedulePolicy,
+                 quantum: int = DEFAULT_QUANTUM) -> None:
+        self.session = session
+        self.policy = policy
+        self.quantum = quantum
+        self.interference = InterferenceModel(session.hierarchy)
+        self._clients: dict[int, Session] = {}
+
+    # ------------------------------------------------------------------
+    def _client_session(self, client: int) -> Session:
+        if client not in self._clients:
+            self._clients[client] = self.session.spawn()
+        return self._clients[client]
+
+    def admit(self, queries: Sequence[WorkloadQuery]) -> list[Task]:
+        """Compile every queued query through its client's session (all
+        sharing one plan cache) into scheduler tasks."""
+        tasks: list[Task] = []
+        for wq in queries:
+            client = self._client_session(wq.client)
+            planned = client.compile(wq.text)
+            plan = planned.plan
+            memory, cpu = self.interference.standalone(plan)
+            tasks.append(Task(query=wq, plan=plan,
+                              solo_memory_ns=memory, cpu_ns=cpu,
+                              cache_hit=client.last_compile_cached,
+                              signature=plan_signature(plan.root)))
+        return tasks
+
+    def run(self, queries: Sequence[WorkloadQuery]) -> WorkloadReport:
+        """Admit, schedule, and execute ``queries``; returns the full
+        simulated-time report."""
+        if self.interference.hierarchy is not self.session.hierarchy:
+            # the shared engine's profile changed since construction
+            self.interference = InterferenceModel(self.session.hierarchy)
+        tasks = self.admit(queries)
+        batches = self.policy.batches(tasks)
+        scheduled = sorted(t.query.qid for b in batches for t in b)
+        if scheduled != sorted(t.query.qid for t in tasks):
+            raise ValueError(
+                f"policy {self.policy.name!r} lost or duplicated queries")
+
+        db = self.session.db
+        clock = 0.0
+        query_metrics: list[QueryMetrics] = []
+        batch_metrics: list[BatchMetrics] = []
+        for index, batch in enumerate(batches):
+            prediction = self.interference.co_run([t.plan for t in batch])
+            traces = [record_trace(db, t.plan) for t in batch]
+            replay = replay_interleaved(self.session.hierarchy, traces,
+                                        quantum=self.quantum)
+            finishes = []
+            for t, mem_ns, mem_finish in zip(batch, replay.memory_ns,
+                                             replay.finish_ns):
+                # A member is done once its accesses have drained *and*
+                # its own CPU work fits after/between them.
+                finish = max(mem_finish, mem_ns + t.cpu_ns)
+                finishes.append(finish)
+                query_metrics.append(QueryMetrics(
+                    qid=t.query.qid, client=t.query.client,
+                    kind=t.query.kind, signature=t.signature,
+                    batch_index=index, cache_hit=t.cache_hit,
+                    start_ns=clock, finish_ns=clock + finish,
+                    memory_ns=mem_ns, cpu_ns=t.cpu_ns))
+            makespan = max(max(finishes), replay.total_ns)
+            batch_metrics.append(BatchMetrics(
+                index=index, size=len(batch),
+                predicted_memory_ns=prediction.batch_memory_ns,
+                measured_memory_ns=replay.total_ns,
+                predicted_makespan_ns=prediction.makespan_ns,
+                measured_makespan_ns=makespan))
+            clock += makespan
+        query_metrics.sort(key=lambda m: m.qid)
+        return WorkloadReport(self.policy.name, query_metrics,
+                              batch_metrics)

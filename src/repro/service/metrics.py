@@ -1,0 +1,157 @@
+"""Per-query and per-batch service metrics, and the rendered report.
+
+All times are simulated nanoseconds on the service's machine profile.
+Queries arrive together at simulated time zero (a closed batch of
+client requests), so a query's latency is its completion time: queueing
+delay behind earlier batches plus its own batch's execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["percentile", "QueryMetrics", "BatchMetrics", "WorkloadReport"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) with linear interpolation."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class QueryMetrics:
+    """One query's simulated-time accounting."""
+
+    qid: int
+    client: int
+    kind: str
+    signature: str
+    batch_index: int
+    cache_hit: bool
+    #: Simulated time the query's batch started.
+    start_ns: float
+    #: Simulated time the query completed.
+    finish_ns: float
+    #: Memory time measured for this query during the batch replay
+    #: (inflated by contention when co-run).
+    memory_ns: float
+    #: Calibrated pure-CPU time.
+    cpu_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival is simulated time zero, so latency = completion."""
+        return self.finish_ns
+
+
+@dataclass(frozen=True)
+class BatchMetrics:
+    """One co-run batch: the ⊙ prediction next to the simulator's
+    measurement."""
+
+    index: int
+    size: int
+    predicted_memory_ns: float
+    measured_memory_ns: float
+    predicted_makespan_ns: float
+    measured_makespan_ns: float
+
+    @property
+    def contention_error(self) -> float:
+        """Relative error of the ⊙-predicted batch memory time against
+        the interleaved-replay measurement."""
+        if self.measured_memory_ns <= 0:
+            return 0.0
+        return (abs(self.predicted_memory_ns - self.measured_memory_ns)
+                / self.measured_memory_ns)
+
+
+class WorkloadReport:
+    """The executor's result: every query, every batch, one policy."""
+
+    def __init__(self, policy: str, queries: list[QueryMetrics],
+                 batches: list[BatchMetrics]) -> None:
+        if not queries:
+            raise ValueError("a report needs at least one query")
+        self.policy = policy
+        self.queries = queries
+        self.batches = batches
+
+    # -- headline numbers ----------------------------------------------
+    @property
+    def makespan_ns(self) -> float:
+        """Simulated completion time of the whole workload."""
+        return max(q.finish_ns for q in self.queries)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Queries per simulated second."""
+        span = self.makespan_ns
+        return len(self.queries) / (span / 1e9) if span > 0 else float("inf")
+
+    def latency_percentile(self, q: float) -> float:
+        return percentile([m.latency_ns for m in self.queries], q)
+
+    @property
+    def p50_latency_ns(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_ns(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for q in self.queries if q.cache_hit)
+
+    @property
+    def mean_contention_error(self) -> float:
+        """Mean relative ⊙-vs-simulator error over *co-run* batches
+        (singleton batches exercise the plain Section 4/5 model, which
+        the existing validation suites already cover)."""
+        shared = [b.contention_error for b in self.batches if b.size > 1]
+        if not shared:
+            return 0.0
+        return sum(shared) / len(shared)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """A compact text table of the run."""
+        q = self.queries
+        lines = [
+            f"policy {self.policy}: {len(q)} queries in "
+            f"{len(self.batches)} batches",
+            f"  makespan   {self.makespan_ns / 1e6:>10.2f} ms   "
+            f"throughput {self.throughput_qps:>8.1f} q/s",
+            f"  latency    p50 {self.p50_latency_ns / 1e6:>8.2f} ms   "
+            f"p95 {self.p95_latency_ns / 1e6:>8.2f} ms",
+            f"  plan cache {self.cache_hits}/{len(q)} hits   "
+            f"⊙ vs simulator error "
+            f"{self.mean_contention_error * 100:>5.1f}% "
+            f"(co-run batches)",
+        ]
+        lines.append("  batches:")
+        for b in self.batches:
+            lines.append(
+                f"    #{b.index:<3} size {b.size}  "
+                f"mem pred {b.predicted_memory_ns / 1e6:>8.2f} ms / "
+                f"meas {b.measured_memory_ns / 1e6:>8.2f} ms  "
+                f"makespan {b.measured_makespan_ns / 1e6:>8.2f} ms")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"WorkloadReport({self.policy!r}, "
+                f"queries={len(self.queries)}, "
+                f"makespan={self.makespan_ns / 1e6:.2f}ms)")

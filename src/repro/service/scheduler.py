@@ -1,0 +1,164 @@
+"""Admission control and co-run batch selection.
+
+A policy turns the admitted queue (compiled :class:`Task` objects, in
+arrival order) into a sequence of **batches**; batches execute one
+after another, the members of a batch concurrently.  Three policies
+span the design space:
+
+* :class:`FifoSerialPolicy` — the baseline: one query per batch, no
+  concurrency, no interference (and no CPU/memory overlap either);
+* :class:`MaxParallelPolicy` — the opposite extreme: pack every batch
+  to the concurrency cap in arrival order, blind to contention;
+* :class:`InterferenceAwarePolicy` — greedy co-schedule selection under
+  the ⊙ model: grow each batch with the candidate that increases the
+  predicted makespan least, and admit a candidate only while co-running
+  is predicted no slower than queueing it behind the batch.
+
+Batches, not a continuous stream, keep the simulated-time semantics
+exact: within a batch the executor interleaves the members' access
+traces on the shared hierarchy; across batches the machine is a simple
+sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..query.physical import QueryPlan
+from .interference import InterferenceModel
+from .workload import WorkloadQuery
+
+__all__ = ["Task", "SchedulePolicy", "FifoSerialPolicy",
+           "MaxParallelPolicy", "InterferenceAwarePolicy"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One admitted, compiled query awaiting execution."""
+
+    query: WorkloadQuery
+    plan: QueryPlan
+    #: Predicted standalone (cold, whole-cache) memory time.
+    solo_memory_ns: float
+    #: Calibrated pure-CPU time (Eq. 6.1).
+    cpu_ns: float
+    #: Whether compilation was served from the shared plan cache.
+    cache_hit: bool
+    #: The chosen physical plan's one-line signature.
+    signature: str = ""
+
+    @property
+    def solo_total_ns(self) -> float:
+        """Standalone completion time (Eq. 6.1: memory + CPU)."""
+        return self.solo_memory_ns + self.cpu_ns
+
+
+class SchedulePolicy:
+    """Base class: a policy maps the arrival-ordered queue to batches."""
+
+    name = "policy"
+
+    def batches(self, tasks: Sequence[Task]) -> list[list[Task]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FifoSerialPolicy(SchedulePolicy):
+    """Serial baseline: every query runs alone, in arrival order."""
+
+    name = "fifo-serial"
+
+    def batches(self, tasks: Sequence[Task]) -> list[list[Task]]:
+        return [[t] for t in tasks]
+
+
+class MaxParallelPolicy(SchedulePolicy):
+    """Naive maximal concurrency: fill each batch to ``max_batch`` in
+    arrival order, regardless of predicted interference."""
+
+    name = "max-parallel"
+
+    def __init__(self, max_batch: int = 4) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.max_batch = max_batch
+
+    def batches(self, tasks: Sequence[Task]) -> list[list[Task]]:
+        return [list(tasks[i:i + self.max_batch])
+                for i in range(0, len(tasks), self.max_batch)]
+
+    def __repr__(self) -> str:
+        return f"MaxParallelPolicy(max_batch={self.max_batch})"
+
+
+class InterferenceAwarePolicy(SchedulePolicy):
+    """Greedy makespan-minimizing co-scheduling under the ⊙ model.
+
+    Batch construction: seed with the longest-waiting queued task, then
+    repeatedly add the candidate whose admission yields the smallest
+    predicted batch makespan.  **Admission control**: a candidate is
+    admitted only if
+
+        makespan(batch ∪ {c})  ≤  makespan(batch) + slack · solo(c)
+
+    i.e. co-running ``c`` is predicted to cost no more than running it
+    *after* the batch (``slack=1``), so a policy decision never makes
+    the predicted schedule worse than FIFO-serial.  ``slack`` trades
+    strictness for packing: below 1 it demands a predicted win from
+    concurrency, above 1 it tolerates bounded interference in exchange
+    for freeing later batches.
+
+    The candidate scan is bounded by ``lookahead`` queue positions so
+    scheduling stays ``O(queue · max_batch · lookahead)`` co-run
+    predictions, and no task is starved: unpicked candidates keep their
+    arrival order, and every pass seeds with the queue head.
+    """
+
+    name = "interference-aware"
+
+    def __init__(self, interference: InterferenceModel,
+                 max_batch: int = 4, slack: float = 1.0,
+                 lookahead: int = 8) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if slack <= 0:
+            raise ValueError("slack must be positive")
+        if lookahead < 1:
+            raise ValueError("lookahead must be positive")
+        self.interference = interference
+        self.max_batch = max_batch
+        self.slack = slack
+        self.lookahead = lookahead
+
+    def _makespan(self, batch: Sequence[Task]) -> float:
+        return self.interference.co_run([t.plan for t in batch]).makespan_ns
+
+    def batches(self, tasks: Sequence[Task]) -> list[list[Task]]:
+        queue = list(tasks)
+        out: list[list[Task]] = []
+        while queue:
+            batch = [queue.pop(0)]
+            current = self._makespan(batch)
+            while len(batch) < self.max_batch and queue:
+                best_index = None
+                best_makespan = None
+                for i, candidate in enumerate(queue[:self.lookahead]):
+                    predicted = self._makespan(batch + [candidate])
+                    limit = current + self.slack * candidate.solo_total_ns
+                    if predicted > limit:
+                        continue  # rejected: queueing it is cheaper
+                    if best_makespan is None or predicted < best_makespan:
+                        best_index, best_makespan = i, predicted
+                if best_index is None:
+                    break
+                batch.append(queue.pop(best_index))
+                current = best_makespan
+            out.append(batch)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"InterferenceAwarePolicy(max_batch={self.max_batch}, "
+                f"slack={self.slack}, lookahead={self.lookahead})")

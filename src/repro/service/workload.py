@@ -1,0 +1,169 @@
+"""Deterministic multi-client workload generation.
+
+A :class:`WorkloadGenerator` populates a shared
+:class:`~repro.session.Session` catalog (following the explicit-seed
+conventions of :mod:`repro.db.datagen`) and draws mixed query streams
+from a small set of templates — point filters, scans, joins,
+aggregations, and join+aggregate pipelines — expressed in the text
+frontend, so every workload query is an ordinary session query that
+compiles through the shared plan cache.
+
+Everything is seeded: the same ``(seed, scale, mix)`` always produces
+the same tables, the same query sequence, and the same client
+assignment, which is what makes scheduler comparisons (same workload,
+different policy) meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..db.datagen import grouped_keys, random_permutation
+from ..session import Session
+
+__all__ = ["WorkloadQuery", "WorkloadGenerator", "KINDS"]
+
+#: The query template families a workload mixes.
+KINDS = ("point", "scan", "join", "aggregate", "join_aggregate")
+
+#: Default mix: a balanced multi-client stream.
+DEFAULT_MIX: Mapping[str, float] = {
+    "point": 0.2,
+    "scan": 0.2,
+    "join": 0.2,
+    "aggregate": 0.2,
+    "join_aggregate": 0.2,
+}
+
+#: A memory-bound mix dominated by joins whose hash tables compete for
+#: the cache — the stress case for co-run scheduling.
+CONTENTION_HEAVY_MIX: Mapping[str, float] = {
+    "point": 0.05,
+    "scan": 0.05,
+    "join": 0.5,
+    "aggregate": 0.1,
+    "join_aggregate": 0.3,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One queued client query: arrival order ``qid``, issuing
+    ``client``, template family ``kind``, and its text-frontend form."""
+
+    qid: int
+    client: int
+    kind: str
+    text: str
+
+
+class WorkloadGenerator:
+    """Seeded generator of mixed query streams over a shared catalog.
+
+    Parameters
+    ----------
+    session:
+        The session whose catalog the workload runs against; a fresh
+        default session is created when omitted.  Tables and predicates
+        are registered on it (existing registrations of the same names
+        are rebound).
+    seed:
+        Master seed; table contents and the query stream derive from it.
+    scale:
+        Base-table cardinality.  With the scaled-Origin2000 profile,
+        ``scale=2048`` makes each join's hash table (~43 KB) comparable
+        to L2 (64 KB), so co-running two joins thrashes — the
+        contention regime; ``scale=256`` keeps several co-run working
+        sets cache-resident — the friendly regime.
+    mix:
+        Kind → weight mapping (need not sum to 1); defaults to
+        :data:`DEFAULT_MIX`.
+    """
+
+    def __init__(self, session: Session | None = None, seed: int = 0,
+                 scale: int = 2048, mix: Mapping[str, float] | None = None
+                 ) -> None:
+        if scale < 16:
+            raise ValueError("scale must be >= 16")
+        self.session = session if session is not None else Session()
+        self.seed = seed
+        self.scale = scale
+        self.mix = dict(mix if mix is not None else DEFAULT_MIX)
+        unknown = set(self.mix) - set(KINDS)
+        if unknown:
+            raise ValueError(f"unknown workload kinds: {sorted(unknown)}")
+        if sum(self.mix.values()) <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+        self.groups = max(2, scale // 32)
+        self._populate()
+
+    @classmethod
+    def contention_heavy(cls, session: Session | None = None, seed: int = 0,
+                         scale: int = 2048) -> "WorkloadGenerator":
+        """A join-dominated, memory-bound workload (the scheduling
+        stress case)."""
+        return cls(session=session, seed=seed, scale=scale,
+                   mix=CONTENTION_HEAVY_MIX)
+
+    # ------------------------------------------------------------------
+    def _populate(self) -> None:
+        s, n, seed = self.session, self.scale, self.seed
+        s.create_table("orders", random_permutation(n, seed=seed + 1))
+        s.create_table("customers", random_permutation(n, seed=seed + 2))
+        s.create_table("parts", random_permutation(n, seed=seed + 3))
+        s.create_table("events", grouped_keys(n, groups=self.groups,
+                                              seed=seed + 4))
+        s.predicate("even", lambda v: v % 2 == 0)
+        s.predicate("quarter", lambda v: v % 4 == 0)
+        s.predicate("rare", lambda v: v % 16 == 0)
+
+    def _templates(self, kind: str) -> Sequence[str]:
+        """The text-frontend instances of one template family.  A small
+        fixed set per kind keeps the shared plan cache meaningful: the
+        stream revisits templates, so later compiles hit."""
+        g = self.groups
+        if kind == "point":
+            return (f"filter(orders, rare, sel={1 / 16})",
+                    f"filter(parts, rare, sel={1 / 16})")
+        if kind == "scan":
+            return ("filter(customers, even, sel=0.5)",
+                    "filter(orders, quarter, sel=0.25)")
+        if kind == "join":
+            return ("join(orders, customers)",
+                    "join(customers, parts)")
+        if kind == "aggregate":
+            return (f"aggregate(events, groups={g})",
+                    f"aggregate(events, groups={2 * g})")
+        if kind == "join_aggregate":
+            # Join keys are permutation values (all distinct), so the
+            # oracle group count is the join's output cardinality.
+            return (f"aggregate(join(filter(orders, even, sel=0.5), "
+                    f"customers), groups={self.scale // 2})",
+                    f"aggregate(join(orders, parts), groups={self.scale})")
+        raise ValueError(f"unknown workload kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def generate(self, n_queries: int, clients: int = 4
+                 ) -> list[WorkloadQuery]:
+        """``n_queries`` queries in arrival order, dealt round-robin to
+        ``clients`` clients, kinds drawn from the mix — deterministic in
+        ``(seed, scale, mix, n_queries, clients)``."""
+        if n_queries < 1:
+            raise ValueError("n_queries must be positive")
+        if clients < 1:
+            raise ValueError("clients must be positive")
+        # A stable integer derivation (not hash(): str hashing is
+        # process-randomized) so streams differ per request shape.
+        rng = random.Random(self.seed * 1_000_003
+                            + n_queries * 101 + clients)
+        kinds = sorted(k for k, w in self.mix.items() if w > 0)
+        weights = [self.mix[k] for k in kinds]
+        out: list[WorkloadQuery] = []
+        for qid in range(n_queries):
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            text = rng.choice(self._templates(kind))
+            out.append(WorkloadQuery(qid=qid, client=qid % clients,
+                                     kind=kind, text=text))
+        return out

@@ -85,7 +85,27 @@ class Session:
         self.plan_cache = cache if cache is not None else PlanCache()
         self._functions: dict[str, Callable] = {}
         self._sorted: dict[str, bool] = {}
+        #: Whether the most recent :meth:`compile` was served from the
+        #: plan cache (per-query provenance for shared-cache clients;
+        #: :meth:`PlanCache.stats` only counts globally).
+        self.last_compile_cached: bool = False
         self._rebind(self.db.hierarchy)
+
+    def spawn(self) -> "Session":
+        """A new client session over the *same* engine and plan cache.
+
+        The spawned session shares this session's :class:`Database`
+        (catalog, simulated address space, memory system), its
+        :class:`~repro.session.PlanCache`, and its planner config, and
+        copies the predicate registry and sorted-table flags — the
+        multi-client wiring of the concurrent workload service: many
+        front doors, one engine, one cache.  Compile provenance
+        (:attr:`last_compile_cached`) stays per session."""
+        child = Session(db=self.db, config=self.config,
+                        cache=self.plan_cache)
+        child._functions.update(self._functions)
+        child._sorted.update(self._sorted)
+        return child
 
     def _rebind(self, hierarchy: MemoryHierarchy) -> None:
         self.optimizer = Optimizer(hierarchy, self.config)
@@ -100,6 +120,7 @@ class Session:
     def fingerprint(self) -> str:
         """Fingerprint of the current machine profile (the profile
         component of every plan-cache key)."""
+        self._sync_profile()
         return self.optimizer.fingerprint
 
     def set_hierarchy(self, hierarchy: MemoryHierarchy) -> None:
@@ -186,10 +207,30 @@ class Session:
             "or query text)")
 
     # -- compile & run -------------------------------------------------
+    def _sync_profile(self) -> None:
+        """Re-bind optimizer and model if the shared engine's hierarchy
+        changed under us (a sibling session over the same
+        :class:`~repro.db.Database` may have switched profiles — see
+        :meth:`spawn`).  Identity check, so the common path is free."""
+        if self.optimizer.hierarchy is not self.db.hierarchy:
+            self._rebind(self.db.hierarchy)
+
     def compile(self, q) -> PlannedQuery:
-        """Enumerate/rank plans through the profile-keyed plan cache."""
-        return self.optimizer.optimize(self.as_logical(q),
-                                       cache=self.plan_cache)
+        """Enumerate/rank plans through the profile-keyed plan cache.
+
+        Sets :attr:`last_compile_cached` to whether the plan came from
+        the cache (hit) or was enumerated by this call (miss)."""
+        self._sync_profile()
+        logical = self.as_logical(q)
+        # One key derivation per compile: get/put here instead of
+        # passing the cache into optimize (which would re-derive it).
+        key = self.optimizer.cache_key(logical)
+        planned = self.plan_cache.get(key)
+        self.last_compile_cached = planned is not None
+        if planned is None:
+            planned = self.optimizer.optimize(logical)
+            self.plan_cache.put(key, planned)
+        return planned
 
     def prepare(self, q) -> PreparedStatement:
         """Compile ``q`` into a reusable prepared statement."""
@@ -224,9 +265,12 @@ class Session:
             return self.db.execute_measured(self.compile(q).plan, cold=cold)
 
     def explain(self, q) -> str:
-        """Per-operator cost/pattern breakdown of the chosen plan."""
-        return self.compile(q).plan.explain(self.model,
+        """Per-operator cost/pattern breakdown of the chosen plan,
+        marked with the compile's plan-cache provenance (hit/miss)."""
+        text = self.compile(q).plan.explain(self.model,
                                             pipeline=self.config.pipeline)
+        provenance = "hit" if self.last_compile_cached else "miss"
+        return f"{text}\n  plan cache: {provenance}"
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, object]:

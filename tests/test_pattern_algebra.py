@@ -115,6 +115,66 @@ class TestFlattening:
             assert len((a * b * c).parts) == 3
 
 
+class TestIncrementalComposition:
+    """Audit for the scheduler's incremental ⊙ composition: growing a
+    compound one part at a time must stay flat (``Conc.of``'s one-level
+    flattening suffices because inner compounds are themselves built
+    flat), the direct constructor is the documented exception, and the
+    evaluator's proportional division is associative, so even an
+    un-flattened tree prices identically."""
+
+    def test_incremental_conc_of_stays_flat(self):
+        rng = random.Random(23)
+        for _ in range(N_TREES):
+            regions = make_regions(rng)
+            parts = [random_basic(rng, regions) for _ in range(5)]
+            grown = Conc.of(parts[0], parts[1])
+            for part in parts[2:]:
+                grown = Conc.of(grown, part)  # scheduler-style growth
+            assert grown.parts == tuple(parts)
+            folded = parts[0]
+            for part in parts[1:]:
+                folded = folded * part
+            assert folded == grown
+
+    def test_incremental_seq_of_stays_flat(self):
+        rng = random.Random(29)
+        for _ in range(N_TREES):
+            regions = make_regions(rng)
+            parts = [random_basic(rng, regions) for _ in range(4)]
+            grown = Seq.of(parts[0], parts[1])
+            for part in parts[2:]:
+                grown = Seq.of(grown, part)
+            assert grown.parts == tuple(parts)
+
+    def test_direct_constructor_preserves_nesting(self):
+        """``Conc(...)``/``Seq(...)`` are the raw constructors: no
+        flattening — `.of` (or the operators) is the canonicalizing
+        entry point."""
+        r = DataRegion("R", n=64, w=8)
+        a, b, c = STrav(r), RTrav(r), RAcc(r, r=8)
+        nested = Conc([Conc([a, b]), c])
+        assert nested.parts == (Conc([a, b]), c)
+        assert nested != Conc.of(Conc.of(a, b), c)
+        assert Seq([Seq([a, b]), c]).parts == (Seq([a, b]), c)
+
+    def test_conc_division_is_associative(self, scaled):
+        """Nested ``(a ⊙ b) ⊙ c`` receives the same per-part cache
+        shares as flat ``a ⊙ b ⊙ c`` (proportional division composes),
+        so the cost model predicts identical misses for both shapes."""
+        model = CostModel(scaled)
+        rng = random.Random(31)
+        for _ in range(N_TREES // 3):
+            regions = make_regions(rng)
+            a, b, c = (random_basic(rng, regions) for _ in range(3))
+            flat = Conc.of(a, b, c)
+            nested = Conc([Conc([a, b]), c])
+            for level in scaled.all_levels:
+                flat_pair = model.level_misses(flat, level)
+                nested_pair = model.level_misses(nested, level)
+                assert flat_pair.total == pytest.approx(nested_pair.total)
+
+
 class TestRegionsOrdering:
     def test_regions_are_leaf_regions_in_order(self):
         rng = random.Random(19)

@@ -1,0 +1,293 @@
+"""The concurrent workload service: generator, interference model,
+schedulers, executor, metrics — plus the session hooks it rides on
+(spawned client sessions, plan-cache provenance)."""
+
+import pytest
+
+from repro.query.physical import QueryPlan
+from repro.core import Conc, Seq, footprint_lines
+from repro.service import (
+    FifoSerialPolicy,
+    InterferenceAwarePolicy,
+    InterferenceModel,
+    MaxParallelPolicy,
+    ServiceExecutor,
+    WorkloadGenerator,
+    percentile,
+)
+from repro.service.executor import record_trace, replay_interleaved
+from repro.session import Session
+
+
+@pytest.fixture(scope="module")
+def small_service():
+    """One shared session + a small balanced workload (module-scoped:
+    populating and compiling is the expensive part)."""
+    session = Session()
+    gen = WorkloadGenerator(session=session, seed=3, scale=256)
+    return session, gen
+
+
+class TestWorkloadGenerator:
+    def test_stream_is_deterministic(self, small_service):
+        _, gen = small_service
+        a = gen.generate(12, clients=3)
+        b = gen.generate(12, clients=3)
+        assert a == b
+        assert [q.qid for q in a] == list(range(12))
+        assert {q.client for q in a} <= {0, 1, 2}
+
+    def test_different_seeds_differ(self):
+        s1, s2 = Session(), Session()
+        a = WorkloadGenerator(session=s1, seed=1, scale=256).generate(16)
+        b = WorkloadGenerator(session=s2, seed=2, scale=256).generate(16)
+        assert [q.text for q in a] != [q.text for q in b]
+
+    def test_every_template_compiles(self, small_service):
+        session, gen = small_service
+        from repro.service.workload import KINDS
+        for kind in KINDS:
+            for text in gen._templates(kind):
+                planned = session.compile(text)
+                assert planned.best.total_ns > 0
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError, match="unknown workload kinds"):
+            WorkloadGenerator(session=Session(), scale=256,
+                              mix={"nope": 1.0})
+        with pytest.raises(ValueError, match="positive"):
+            WorkloadGenerator(session=Session(), scale=256,
+                              mix={"join": 0.0})
+
+    def test_contention_heavy_mix_is_join_dominated(self):
+        gen = WorkloadGenerator.contention_heavy(session=Session(),
+                                                 scale=256)
+        stream = gen.generate(40)
+        joins = sum(1 for q in stream
+                    if q.kind in ("join", "join_aggregate"))
+        assert joins > len(stream) / 2
+
+
+class TestSessionHooks:
+    def test_spawn_shares_engine_and_cache(self, small_service):
+        session, _ = small_service
+        client = session.spawn()
+        assert client.db is session.db
+        assert client.plan_cache is session.plan_cache
+        assert client.function("even") is session.function("even")
+        # catalog is the same object: tables registered later are seen
+        assert client.db.catalog is session.db.catalog
+
+    def test_compile_provenance_hit_and_miss(self):
+        session = Session()
+        WorkloadGenerator(session=session, seed=5, scale=256)
+        text = "filter(orders, even, sel=0.5)"
+        session.compile(text)
+        assert session.last_compile_cached is False
+        session.compile(text)
+        assert session.last_compile_cached is True
+        # a spawned client session hits the shared cache immediately,
+        # with its own provenance flag
+        client = session.spawn()
+        client.compile(text)
+        assert client.last_compile_cached is True
+        assert session.last_compile_cached is True
+
+    def test_explain_marks_cache_provenance(self):
+        session = Session()
+        WorkloadGenerator(session=session, seed=5, scale=256)
+        first = session.explain("join(orders, customers)")
+        assert first.rstrip().endswith("plan cache: miss")
+        second = session.explain("join(orders, customers)")
+        assert second.rstrip().endswith("plan cache: hit")
+        assert second.splitlines()[:-1] == first.splitlines()[:-1]
+
+    def test_sibling_profile_switch_is_seen(self):
+        """When one session switches the *shared* engine's profile,
+        spawned siblings re-bind on their next compile: fingerprints
+        agree and old-profile cache entries stop matching."""
+        from repro.hardware import tiny_test_machine
+        session = Session()
+        WorkloadGenerator(session=session, seed=5, scale=256)
+        client = session.spawn()
+        text = "filter(orders, even, sel=0.5)"
+        client.compile(text)
+        old = client.fingerprint
+        session.set_hierarchy(tiny_test_machine())
+        assert client.fingerprint == session.fingerprint != old
+        client.compile(text)
+        assert client.last_compile_cached is False  # re-enumerated
+        client.compile(text)
+        assert client.last_compile_cached is True
+
+    def test_pipeline_stages_hook(self, small_service):
+        session, _ = small_service
+        plan = session.compile("aggregate(join(orders, customers), "
+                               "groups=256)").plan
+        stages = plan.pipeline_stages()
+        pattern = plan.pattern(pipeline=True)
+        assert isinstance(pattern, Seq)
+        assert stages == pattern.parts
+        # one stage at a time runs: the plan's competitive footprint is
+        # its *max* stage footprint (what ⊙ composition divides by)
+        line = session.hierarchy.levels[0].line_size
+        assert footprint_lines(pattern, line) == \
+            max(footprint_lines(s, line) for s in stages)
+
+
+class TestInterferenceModel:
+    @pytest.fixture(scope="class")
+    def plans(self, small_service):
+        session, _ = small_service
+        texts = ["join(orders, customers)", "join(customers, parts)",
+                 "filter(orders, even, sel=0.5)"]
+        return session, [session.compile(t).plan for t in texts]
+
+    def test_single_plan_is_standalone(self, plans):
+        session, (join_plan, *_) = plans
+        model = InterferenceModel(session.hierarchy)
+        memory, cpu = model.standalone(join_plan)
+        pred = model.co_run([join_plan])
+        assert pred.memory_ns == (pytest.approx(memory),)
+        assert pred.makespan_ns == pytest.approx(memory + cpu)
+        assert pred.slowdown == pytest.approx(1.0)
+
+    def test_co_run_matches_conc_composition(self, plans):
+        """The batch memory time is exactly the ⊙-composed estimate."""
+        session, ps = plans
+        model = InterferenceModel(session.hierarchy)
+        pred = model.co_run(ps)
+        patterns = [p.pattern(pipeline=True) for p in ps]
+        expected = model.model.estimate(Conc.of(*patterns)).memory_ns
+        assert pred.batch_memory_ns == pytest.approx(expected)
+
+    def test_contention_slows_joins_down(self, plans):
+        session, (a, b, _) = plans
+        model = InterferenceModel(session.hierarchy)
+        pred = model.co_run([a, b])
+        assert pred.slowdown > 1.0
+        for shared, solo in zip(pred.memory_ns, pred.solo_memory_ns):
+            assert shared >= solo
+
+    def test_empty_batch_rejected(self, plans):
+        session, _ = plans
+        with pytest.raises(ValueError, match="at least one plan"):
+            InterferenceModel(session.hierarchy).co_run([])
+
+
+class TestSchedulers:
+    @pytest.fixture(scope="class")
+    def tasks(self, small_service):
+        session, gen = small_service
+        executor = ServiceExecutor(session, FifoSerialPolicy())
+        return executor, executor.admit(gen.generate(10, clients=2))
+
+    def test_fifo_serial_is_singletons(self, tasks):
+        _, ts = tasks
+        batches = FifoSerialPolicy().batches(ts)
+        assert [len(b) for b in batches] == [1] * len(ts)
+        assert [b[0].query.qid for b in batches] == list(range(len(ts)))
+
+    def test_max_parallel_chunks_arrival_order(self, tasks):
+        _, ts = tasks
+        batches = MaxParallelPolicy(max_batch=4).batches(ts)
+        assert [len(b) for b in batches] == [4, 4, 2]
+        flat = [t.query.qid for b in batches for t in b]
+        assert flat == list(range(len(ts)))
+
+    def test_interference_aware_schedules_everything_once(self, tasks):
+        executor, ts = tasks
+        policy = InterferenceAwarePolicy(executor.interference,
+                                         max_batch=4)
+        batches = policy.batches(ts)
+        scheduled = sorted(t.query.qid for b in batches for t in b)
+        assert scheduled == list(range(len(ts)))
+        assert all(1 <= len(b) <= 4 for b in batches)
+
+    def test_admission_never_predicts_worse_than_serial(self, tasks):
+        """The admission rule guarantees every batch's predicted
+        makespan is bounded by the sum of its members' standalone
+        times (slack=1): co-scheduling never *predictably* loses to
+        FIFO-serial."""
+        executor, ts = tasks
+        policy = InterferenceAwarePolicy(executor.interference,
+                                         max_batch=4, slack=1.0)
+        for batch in policy.batches(ts):
+            predicted = executor.interference.co_run(
+                [t.plan for t in batch]).makespan_ns
+            serial = sum(t.solo_total_ns for t in batch)
+            assert predicted <= serial * (1 + 1e-9)
+
+    def test_parameter_validation(self, tasks):
+        executor, _ = tasks
+        with pytest.raises(ValueError):
+            MaxParallelPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            InterferenceAwarePolicy(executor.interference, slack=0.0)
+        with pytest.raises(ValueError):
+            InterferenceAwarePolicy(executor.interference, lookahead=0)
+
+
+class TestExecutor:
+    def test_record_trace_restores_columns(self, small_service):
+        session, _ = small_service
+        plan = session.compile("sort(orders)").plan
+        before = list(session.db.column("orders").values)
+        trace = record_trace(session.db, plan)
+        assert len(trace) > 0
+        assert session.db.column("orders").values == before
+        # and the real memory system is back in place
+        assert session.db.mem.__class__.__name__ == "MemorySystem"
+
+    def test_replay_quantum_validation(self, small_service):
+        session, _ = small_service
+        with pytest.raises(ValueError, match="quantum"):
+            replay_interleaved(session.hierarchy, [[(0, 8)]], quantum=0)
+
+    def test_end_to_end_report(self, small_service):
+        session, gen = small_service
+        workload = gen.generate(8, clients=2)
+        report = ServiceExecutor(session, MaxParallelPolicy(4)).run(workload)
+        assert len(report.queries) == 8
+        assert [q.qid for q in report.queries] == list(range(8))
+        assert sum(b.size for b in report.batches) == 8
+        assert report.makespan_ns > 0
+        assert report.throughput_qps > 0
+        assert report.p50_latency_ns <= report.p95_latency_ns
+        assert report.p95_latency_ns <= report.makespan_ns * (1 + 1e-9)
+        for q in report.queries:
+            assert q.finish_ns > q.start_ns
+        text = report.render()
+        assert "max-parallel" in text and "p95" in text
+
+    def test_interference_aware_beats_naive_on_contention(self):
+        """The tentpole claim at test scale: on a join-dominated mix
+        whose hash tables thrash the shared cache, the ⊙-guided policy
+        finishes the workload sooner than naive max-parallel, and its
+        co-run predictions track the interleaved replay within the
+        model-vs-simulator tolerance band (deterministic workload, so
+        this is a stable check, not a flaky benchmark)."""
+        session = Session()
+        gen = WorkloadGenerator.contention_heavy(session=session, seed=7,
+                                                 scale=512)
+        workload = gen.generate(8, clients=2)
+        naive = ServiceExecutor(session, MaxParallelPolicy(4)).run(workload)
+        aware_policy = InterferenceAwarePolicy(
+            InterferenceModel(session.hierarchy), max_batch=4)
+        aware = ServiceExecutor(session, aware_policy).run(workload)
+        assert aware.makespan_ns < naive.makespan_ns
+        assert naive.mean_contention_error < 0.35
+        assert aware.mean_contention_error < 0.35
+
+
+class TestMetrics:
+    def test_percentile(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0) == 10.0
+        assert percentile(values, 100) == 40.0
+        assert percentile(values, 50) == pytest.approx(25.0)
+        assert percentile([7.0], 95) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile(values, 101)
