@@ -1,0 +1,78 @@
+"""Extension: the spill-vs-in-memory crossover as tables outgrow the budget.
+
+On the simulation-sized disk-extended profile, a plain hash join keeps
+one monolithic build table: once it outgrows the buffer pool, every
+probe is a random page access — a seek.  The grace hash join partitions
+both inputs until each per-partition table fits the working-memory
+budget, keeping the I/O near-sequential.  This bench sweeps the table
+size across the crossover and checks that the cost model and the
+trace-driven simulator agree on the winner on both sides — the
+out-of-core analogue of the paper's Figure 7e cache crossover.
+"""
+
+from repro.core import CostModel
+from repro.db import Database, random_permutation
+from repro.hardware import disk_extended_scaled
+from repro.query import GraceHashJoinNode, HashJoinNode, QueryPlan, ScanNode
+
+MEMORY_BUDGET = 2048  # bytes of working memory (half the scaled pool)
+
+
+def run_crossover(sizes):
+    hw = disk_extended_scaled()
+    model = CostModel(hw)
+    rows = []
+    for n in sizes:
+        db = Database(hw)
+        outer = db.create_column("A", random_permutation(n, seed=1), width=8)
+        inner = db.create_column("B", random_permutation(n, seed=2), width=8)
+        plain = QueryPlan(HashJoinNode(ScanNode(outer), ScanNode(inner)))
+        grace = QueryPlan(GraceHashJoinNode(ScanNode(outer), ScanNode(inner),
+                                            memory_budget=MEMORY_BUDGET))
+        _, plain_snap = db.execute_measured(plain)
+        out, grace_snap = db.execute_measured(grace)
+        assert out.n == n  # permutation join: every key matches once
+        rows.append({
+            "n": n,
+            "m": grace.root.effective_partitions(),
+            "plain_meas_us": plain_snap.elapsed_ns / 1e3,
+            "plain_pred_us": plain.estimate(model, cpu_ns=0.0).memory_ns / 1e3,
+            "grace_meas_us": grace_snap.elapsed_ns / 1e3,
+            "grace_pred_us": grace.estimate(model, cpu_ns=0.0).memory_ns / 1e3,
+        })
+    return rows
+
+
+def render(rows) -> str:
+    lines = ["== Extension: spill vs in-memory crossover "
+             f"(budget {MEMORY_BUDGET} B, pool 4 KB) =="]
+    lines.append(f"{'rows':>6} {'m':>3} | {'plain meas':>11} {'pred':>9} | "
+                 f"{'grace meas':>11} {'pred':>9} | winner (meas/pred)")
+    for row in rows:
+        meas_winner = ("grace" if row["grace_meas_us"] < row["plain_meas_us"]
+                       else "plain")
+        pred_winner = ("grace" if row["grace_pred_us"] < row["plain_pred_us"]
+                       else "plain")
+        lines.append(
+            f"{row['n']:>6} {row['m']:>3} | {row['plain_meas_us']:>9.0f}us "
+            f"{row['plain_pred_us']:>7.0f}us | {row['grace_meas_us']:>9.0f}us "
+            f"{row['grace_pred_us']:>7.0f}us | {meas_winner}/{pred_winner}")
+    return "\n".join(lines)
+
+
+def test_spilling_crossover(benchmark, save_result, quick):
+    sizes = (64, 256, 1024) if quick else (64, 128, 256, 512, 1024, 2048)
+    rows = benchmark.pedantic(run_crossover, args=(sizes,), rounds=1,
+                              iterations=1)
+    save_result("ext_spilling", render(rows))
+
+    small, large = rows[0], rows[-1]
+    # in-budget: grace degenerates to the plain join (no penalty)
+    assert small["m"] == 1
+    assert small["grace_meas_us"] == small["plain_meas_us"]
+    # far out of budget: spilling wins big, in model and measurement
+    assert large["grace_meas_us"] < 0.5 * large["plain_meas_us"]
+    assert large["grace_pred_us"] < 0.5 * large["plain_pred_us"]
+    # and the model stays inside the band for the *chosen* (grace) side
+    assert abs(large["grace_pred_us"] - large["grace_meas_us"]) <= \
+        0.35 * large["grace_meas_us"]

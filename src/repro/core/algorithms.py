@@ -55,6 +55,15 @@ __all__ = [
     "hash_aggregate_phases",
     "duplicate_elimination_pattern",
     "merge_union_pattern",
+    "spill_run_count",
+    "spill_partition_count",
+    "partition_capacity",
+    "external_merge_sort_phases",
+    "external_merge_sort_pattern",
+    "grace_hash_join_phases",
+    "grace_hash_join_pattern",
+    "spilling_hash_aggregate_phases",
+    "spilling_hash_aggregate_pattern",
     "TABLE2",
     "Table2Row",
     "DEFAULT_HASH_MAX_LOAD",
@@ -246,6 +255,214 @@ def partitioned_hash_join_pattern(
         for j, (u, v, w) in enumerate(zip(U_parts, V_parts, W_parts))
     ]
     return Seq.of(*joins)
+
+
+# ----------------------------------------------------------------------
+# Out-of-core (spilling) variants — paper Section 7.
+#
+# With the buffer pool modelled as one more cache level, operators whose
+# auxiliary structure (sort area, hash table, group table) exceeds an
+# explicit *memory budget* must run their disk-era variants: external
+# merge sort, grace hash join, partitioned aggregation.  Their patterns
+# compose from exactly the same basic vocabulary — runs are sequential
+# traversals of sub-regions, spilled tables are RAcc over per-partition
+# regions small enough to stay pool-resident.
+# ----------------------------------------------------------------------
+
+def spill_run_count(U: DataRegion, memory_budget: int) -> int:
+    """How many sorted runs external merge sort produces for ``U`` under
+    ``memory_budget`` bytes of sort area: ``ceil(||U|| / M)``, clamped
+    so a run holds at least one item.  ``1`` means the whole input fits
+    — no spill."""
+    if memory_budget < 1:
+        raise ValueError("memory_budget must be positive")
+    return min(U.n, max(1, math.ceil(U.size / memory_budget)))
+
+
+def partition_capacity(n: int, m: int, slack_sigmas: float = 6.0) -> int:
+    """Items allocated per partition buffer when splitting ``n`` items
+    ``m`` ways: the expected fill ``n/m`` plus ``slack_sigmas`` binomial
+    standard deviations (uniform keys make cluster sizes
+    Binomial(n, 1/m)).  The single capacity policy shared by the engine
+    (:func:`repro.db.partition`) and the pattern builders, so the model
+    prices the buffers the engine actually allocates."""
+    if m < 1:
+        raise ValueError("m must be positive")
+    expected = n / m
+    return int(expected + slack_sigmas * math.sqrt(expected) + 8)
+
+
+def spill_partition_count(table_bytes: int, memory_budget: int) -> int:
+    """The spill fan-out: smallest power of two ``m`` bringing a
+    ``table_bytes`` structure to at most ``memory_budget`` per
+    partition.  The budget analogue of
+    :meth:`~repro.optimizer.JoinAdvisor.recommend_partitions` (which
+    targets a cache level instead)."""
+    if memory_budget < 1:
+        raise ValueError("memory_budget must be positive")
+    m = 1
+    while table_bytes / m > memory_budget:
+        m *= 2
+    return m
+
+
+def _output_parts(W: DataRegion, m: int) -> tuple[DataRegion, ...]:
+    """``m`` per-partition output sub-regions of ``W``.  Identical to
+    ``W.split(m)`` when the output has at least ``m`` items; a smaller
+    output (selective join) still gets ``m`` one-item regions — the
+    fan-out follows the *inputs*, never the output cardinality."""
+    if m <= W.n:
+        return W.split(m)
+    return tuple(W.subregion(f"{W.name}[{j}]", n=1) for j in range(m))
+
+
+def external_merge_sort_phases(
+        U: DataRegion, W: DataRegion, memory_budget: int,
+        stop_bytes: int | None = None) -> tuple[tuple[Pattern, ...], Pattern]:
+    """The two phases of external merge sort, separately.
+
+    Phase 1 quick-sorts each budget-sized run of ``U`` in place; phase 2
+    merges the ``r`` sorted runs into ``W`` with ``r + 1`` concurrent
+    sequential cursors — the :func:`merge_join_pattern` shape
+    generalized to ``r`` inputs, which is why external sort's I/O stays
+    sequential (the classic reason it wins out of core).
+    """
+    r = spill_run_count(U, memory_budget)
+    runs = U.split(r) if r > 1 else (U,)
+    run_sorts = tuple(quick_sort_pattern(run, stop_bytes) for run in runs)
+    merge = Conc.of(*(STrav(run) for run in runs), STrav(W))
+    return run_sorts, merge
+
+
+def external_merge_sort_pattern(U: DataRegion, W: DataRegion,
+                                memory_budget: int,
+                                stop_bytes: int | None = None) -> Pattern:
+    """External merge sort under a sort-area budget::
+
+        ext_sort(U,W,M) = ⊕_{j=1..r} quick_sort(U_j) ⊕ (⊙_j s_trav+(U_j) ⊙ s_trav+(W))
+
+    with ``r = ceil(||U|| / M)`` runs.  Degenerates to plain
+    :func:`quick_sort_pattern` when ``U`` fits the budget.
+    """
+    run_sorts, merge = external_merge_sort_phases(U, W, memory_budget,
+                                                 stop_bytes)
+    if len(run_sorts) == 1:
+        return run_sorts[0]
+    return Seq.of(*run_sorts, merge)
+
+
+def grace_hash_join_phases(U: DataRegion, V: DataRegion, W: DataRegion,
+                           memory_budget: int,
+                           entry_width: int = DEFAULT_HASH_ENTRY_WIDTH
+                           ) -> "tuple[Pattern, Pattern, Pattern] | None":
+    """The three phases of a grace hash join — (partition ``U``,
+    partition ``V``, per-partition joins) — or ``None`` when the build
+    table already fits ``memory_budget`` (no spill).  Exposed separately
+    so pipelined plan composition can ``⊙``-overlap each input with its
+    partition pass only."""
+    H_full = hash_table_region(V, entry_width, max_load=DEFAULT_HASH_MAX_LOAD)
+    m = spill_partition_count(H_full.size, memory_budget)
+    # Clamped by the *input* sizes only, exactly like the engine — a
+    # selective join's small output must not collapse the fan-out.
+    m = min(m, U.n, V.n)
+    if m <= 1:
+        return None
+    # Price what the engine allocates: partition buffers carry binomial
+    # slack (partition_capacity), and every per-partition hash table is
+    # sized uniformly from that *planned* capacity — not the actual
+    # cluster fill, whose binomial variance would double the table
+    # whenever a cluster crosses a power-of-two boundary and decouple
+    # the prediction from the execution.
+    cap_U = partition_capacity(U.n, m)
+    cap_V = partition_capacity(V.n, m)
+    PU = DataRegion(f"P({U.name})", n=m * cap_U, w=U.w)
+    PV = DataRegion(f"P({V.name})", n=m * cap_V, w=V.w)
+    # The join phases traverse the expected fills, not the slack.
+    U_parts = tuple(PU.subregion(f"P({U.name})[{j}]", n=max(1, U.n // m))
+                    for j in range(m))
+    V_parts = tuple(PV.subregion(f"P({V.name})[{j}]", n=max(1, V.n // m))
+                    for j in range(m))
+    H_regions = tuple(
+        hash_table_region(DataRegion(f"V[{j}]", n=cap_V, w=V.w),
+                          entry_width, max_load=DEFAULT_HASH_MAX_LOAD,
+                          name=f"H[{j}]")
+        for j in range(m)
+    )
+    joins = partitioned_hash_join_pattern(U_parts, V_parts,
+                                          _output_parts(W, m),
+                                          entry_width, H_regions=H_regions)
+    return (partition_pattern(U, PU, m), partition_pattern(V, PV, m), joins)
+
+
+def grace_hash_join_pattern(U: DataRegion, V: DataRegion, W: DataRegion,
+                            memory_budget: int,
+                            entry_width: int = DEFAULT_HASH_ENTRY_WIDTH
+                            ) -> Pattern:
+    """Grace (spilling partitioned) hash join under a build-table
+    budget: partition both inputs until each per-partition hash table
+    fits in ``memory_budget``, then hash-join matching partition pairs —
+    structurally :func:`partitioned_hash_join_pattern` with the fan-out
+    chosen by the budget rather than a cache capacity.  Degenerates to
+    plain :func:`hash_join_pattern` when the whole table fits.
+    """
+    phases = grace_hash_join_phases(U, V, W, memory_budget, entry_width)
+    if phases is None:
+        H = hash_table_region(V, entry_width, max_load=DEFAULT_HASH_MAX_LOAD)
+        return hash_join_pattern(U, V, W, entry_width, H=H)
+    part_U, part_V, joins = phases
+    return part_U + part_V + joins
+
+
+def spilling_hash_aggregate_phases(
+        U: DataRegion, W: DataRegion, groups: int, memory_budget: int,
+        entry_width: int = DEFAULT_HASH_ENTRY_WIDTH
+        ) -> "tuple[Pattern, Pattern] | None":
+    """The two phases of a spilling hash aggregate — (partition the
+    input by key, ``⊕`` of the per-partition aggregates) — or ``None``
+    when the group table fits ``memory_budget`` (no spill).  Like the
+    engine, the partition buffers carry the shared
+    :func:`partition_capacity` slack."""
+    groups = max(1, groups)
+    G_full = hash_table_region(DataRegion("G", n=groups, w=entry_width),
+                               entry_width, max_load=DEFAULT_HASH_MAX_LOAD,
+                               name="G")
+    m = spill_partition_count(G_full.size, memory_budget)
+    m = min(m, U.n, groups, W.n)
+    if m <= 1:
+        return None
+    cap = partition_capacity(U.n, m)
+    PU = DataRegion(f"P({U.name})", n=m * cap, w=U.w)
+    U_parts = tuple(PU.subregion(f"P({U.name})[{j}]", n=max(1, U.n // m))
+                    for j in range(m))
+    per_part_groups = max(1, math.ceil(groups / m))
+    passes = []
+    for j, (part, w_part) in enumerate(zip(U_parts, W.split(m))):
+        G_j = hash_table_region(
+            DataRegion(f"G[{j}]", n=per_part_groups, w=entry_width),
+            entry_width, max_load=DEFAULT_HASH_MAX_LOAD, name=f"G[{j}]")
+        passes.append(hash_aggregate_pattern(part, G_j, w_part))
+    return partition_pattern(U, PU, m), Seq.of(*passes)
+
+
+def spilling_hash_aggregate_pattern(U: DataRegion, W: DataRegion,
+                                    groups: int, memory_budget: int,
+                                    entry_width: int = DEFAULT_HASH_ENTRY_WIDTH
+                                    ) -> Pattern:
+    """Hash aggregation under a group-table budget: partition the input
+    by grouping key until each per-partition group table fits in
+    ``memory_budget``, then hash-aggregate every partition —
+    ``partition(U,P,m) ⊕ ⊕_j hash_aggr(P_j, G_j, W_j)``.  Degenerates
+    to plain :func:`hash_aggregate_pattern` when the table fits.
+    """
+    phases = spilling_hash_aggregate_phases(U, W, groups, memory_budget,
+                                            entry_width)
+    if phases is None:
+        G_full = hash_table_region(
+            DataRegion("G", n=max(1, groups), w=entry_width),
+            entry_width, max_load=DEFAULT_HASH_MAX_LOAD, name="G")
+        return hash_aggregate_pattern(U, G_full, W)
+    partition_pass, aggregates = phases
+    return partition_pass + aggregates
 
 
 # ----------------------------------------------------------------------

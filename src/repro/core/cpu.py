@@ -40,6 +40,9 @@ CPU_CYCLES_PER_ITEM = {
     # aggregation
     "hash_aggregate": 24.0,          # hash + group update, per input item
     "aggregate_pass": 4.0,           # post-sort sequential grouping pass
+    # out-of-core building blocks
+    "partition_pass": 6.0,           # hash + append, per partitioned item
+    "merge_pass": 10.0,              # k-way run merge, per output item
 }
 
 

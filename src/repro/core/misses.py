@@ -38,6 +38,7 @@ from .regions import DataRegion
 __all__ = [
     "MissPair",
     "LevelGeometry",
+    "STREAM_WINDOW",
     "lines_per_item",
     "strav_count",
     "rtrav_count",
@@ -47,6 +48,17 @@ __all__ = [
     "racc_count",
     "basic_pattern_misses",
 ]
+
+
+#: Outstanding sequential miss streams a non-blocking memory system
+#: sustains concurrently (paper Section 2.2: EDO/prefetch overlap a
+#: handful of outstanding references).  Up to this many interleaved
+#: sequential cursors each ride the prefetch stream and miss at
+#: *sequential* latency — the paper's merge-join observation.  Shared
+#: with the trace-driven simulator's EDO classifier
+#: (:mod:`repro.simulator.cache`), which recognises the same number of
+#: streams, so model and measurement classify alike.
+STREAM_WINDOW = 8
 
 
 @dataclass(frozen=True)
@@ -262,9 +274,12 @@ def _nest_misses(nest: Nest, geo: LevelGeometry) -> MissPair:
       the lines its predecessor evicted, except the ``#re`` lines that
       survive — ``#re = 0`` (uni), ``#`` (bi) or ``#^2/m`` (random global
       order), by the Section 4.5 analogy the paper invokes.  Extra misses
-      are always random; the base misses are sequential only for a
-      sequential global order performed by an EDO-capable local
-      traversal.
+      are always random; the base misses are sequential for a sequential
+      global order performed by an EDO-capable local traversal, and —
+      the paper's merge-join observation, Section 2.2 — also for a
+      random global order over at most :data:`STREAM_WINDOW` cursors:
+      each cursor is its own ascending stream, and a non-blocking
+      memory system overlaps that many streams at sequential latency.
     """
     region = nest.region
     u = nest.used_bytes
@@ -281,16 +296,17 @@ def _nest_misses(nest: Nest, geo: LevelGeometry) -> MissPair:
             count = rtrav_count(region, u, geo)
         return MissPair(seq=0.0, rand=count)
 
-    # Local sequential cursors.
-    sequential_capable = nest.order == SEQUENTIAL and nest.seq_latency
+    # Local sequential cursors: one stream per local cursor.
+    sequential_capable = nest.seq_latency and (
+        nest.order == SEQUENTIAL or m <= STREAM_WINDOW)
     if not _gap_below_line(region, u, z):
         count = region.n * lines_per_item(u, z)
-        return _split(count, sequential_capable)
+        return _split(count, sequential_capable, streams=m)
 
     base = float(region.lines(z))
     active_lines = m * math.ceil(u / z)
     if active_lines <= geo.num_lines:
-        return _split(base, sequential_capable)
+        return _split(base, sequential_capable, streams=m)
 
     if nest.order == RANDOM:
         reused = geo.num_lines * (geo.num_lines / active_lines)
@@ -300,14 +316,24 @@ def _nest_misses(nest: Nest, geo: LevelGeometry) -> MissPair:
         reused = 0.0
     cross_traversals = region.n / m
     extra = max(0.0, (cross_traversals - 1.0) * (m - min(float(m), reused)))
-    pair = _split(base, sequential_capable)
+    pair = _split(base, sequential_capable, streams=m)
     return MissPair(seq=pair.seq, rand=pair.rand + extra)
 
 
-def _split(count: float, sequential: bool) -> MissPair:
-    if sequential:
-        return MissPair(seq=count, rand=0.0)
-    return MissPair(seq=0.0, rand=count)
+def _split(count: float, sequential: bool, streams: float = 1.0) -> MissPair:
+    """Split a miss count into the (sequential, random) pair.
+
+    An EDO-capable sequential pattern still pays *random* latency for
+    the first miss of each of its ``streams`` cursors: the prefetch
+    window is empty until a stream's first miss establishes it (the
+    trace-driven simulator classifies identically).  Amortized away at
+    the paper's region sizes, but at a buffer pool's seek/transfer
+    ratio those few stream starts carry real cost.
+    """
+    if not sequential:
+        return MissPair(seq=0.0, rand=count)
+    rand = min(float(streams), count)
+    return MissPair(seq=count - rand, rand=rand)
 
 
 # ----------------------------------------------------------------------
@@ -328,7 +354,12 @@ def basic_pattern_misses(pattern: BasicPattern, geo: LevelGeometry) -> MissPair:
         return _split(strav_count(region, u, geo), pattern.seq_latency)
     if isinstance(pattern, RSTrav):
         count = rstrav_count(region, u, geo, pattern.r, pattern.direction)
-        return _split(count, pattern.seq_latency)
+        # Every *missing* sweep restarts its cursor stream; once the
+        # region is cache-resident after the first sweep, the later
+        # sweeps produce no misses and hence no stream starts.
+        m1 = strav_count(region, u, geo)
+        sweeps = pattern.r if (pattern.r > 1 and m1 > geo.num_lines) else 1
+        return _split(count, pattern.seq_latency, streams=sweeps)
     if isinstance(pattern, RTrav):
         return MissPair(rand=rtrav_count(region, u, geo))
     if isinstance(pattern, RRTrav):

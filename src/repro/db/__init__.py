@@ -19,6 +19,12 @@ from .partition import Partitions, join_partitions, partition, partition_key
 from .scan import project, scan, select
 from .setops import merge_difference, merge_intersect, merge_union
 from .sort import is_sorted, quick_sort
+from .spill import (
+    GraceJoinResult,
+    external_merge_sort,
+    grace_hash_join,
+    spilling_hash_aggregate,
+)
 
 __all__ = [
     "Allocator",
@@ -37,6 +43,10 @@ __all__ = [
     "project",
     "quick_sort",
     "is_sorted",
+    "external_merge_sort",
+    "grace_hash_join",
+    "spilling_hash_aggregate",
+    "GraceJoinResult",
     "merge_join",
     "nested_loop_join",
     "hash_join",

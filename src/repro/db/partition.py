@@ -15,8 +15,7 @@ hash join disappears — the effect of paper Figure 7e.
 
 from __future__ import annotations
 
-import math
-
+from ..core.algorithms import partition_capacity
 from ..core.regions import DataRegion
 from .column import Column
 from .context import Database
@@ -74,8 +73,9 @@ def partition(db: Database, col: Column, m: int,
     cluster_of = key_func or partition_key
     mem = db.mem
     n = col.n
-    expected = n / m
-    capacity = int(expected + slack_sigmas * math.sqrt(expected) + 8)
+    # Shared policy with the pattern builders (the model prices the
+    # buffers the engine allocates).
+    capacity = partition_capacity(n, m, slack_sigmas)
 
     region = DataRegion(name=name, n=m * capacity, w=col.width)
     buffers: list[Column] = []

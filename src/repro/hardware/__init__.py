@@ -4,6 +4,7 @@ from .cache_level import FULLY_ASSOCIATIVE, CacheLevel
 from .hierarchy import MemoryHierarchy
 from .profiles import (
     disk_extended,
+    disk_extended_scaled,
     modern_x86,
     origin2000,
     origin2000_scaled,
@@ -25,6 +26,7 @@ __all__ = [
     "origin2000_scaled",
     "modern_x86",
     "disk_extended",
+    "disk_extended_scaled",
     "tiny_test_machine",
     "hierarchy_to_dict",
     "hierarchy_from_dict",

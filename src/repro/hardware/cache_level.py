@@ -49,6 +49,13 @@ class CacheLevel:
         Whether this level is an address-translation cache.  TLB misses
         transfer no data, and sequential and random TLB latency coincide
         (Section 2.2).
+    is_pool:
+        Whether this level is a DBMS buffer pool caching disk pages
+        (paper Section 7): its line size is the page size, a sequential
+        miss is a page transfer and a random miss additionally carries
+        the seek.  The flag marks the level so the simulator can track
+        page residency/write-backs and so budget-aware planning can
+        find the pool; the cost formulas treat it like any other level.
     """
 
     name: str
@@ -58,6 +65,7 @@ class CacheLevel:
     seq_miss_latency_ns: float = 0.0
     rand_miss_latency_ns: float = 0.0
     is_tlb: bool = False
+    is_pool: bool = False
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -86,6 +94,8 @@ class CacheLevel:
             )
         if self.is_tlb and self.associativity != FULLY_ASSOCIATIVE:
             raise ValueError(f"{self.name}: TLBs are fully associative in this model")
+        if self.is_pool and self.is_tlb:
+            raise ValueError(f"{self.name}: a buffer pool is a data level, not a TLB")
 
     # ------------------------------------------------------------------
     # Derived quantities of Table 1.
@@ -149,6 +159,7 @@ class CacheLevel:
             seq_miss_latency_ns=self.seq_miss_latency_ns,
             rand_miss_latency_ns=self.rand_miss_latency_ns,
             is_tlb=self.is_tlb,
+            is_pool=self.is_pool,
         )
 
     def describe(self) -> dict[str, object]:

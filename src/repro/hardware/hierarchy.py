@@ -49,6 +49,12 @@ class MemoryHierarchy:
         for tlb in self.tlbs:
             if not tlb.is_tlb:
                 raise ValueError(f"{tlb.name}: non-TLB level in 'tlbs'")
+        for lvl in self.levels[:-1]:
+            if lvl.is_pool:
+                raise ValueError(
+                    f"{lvl.name}: a buffer pool must be the outermost "
+                    "data level (it caches disk, nothing caches it)"
+                )
         for inner, outer in zip(self.levels, self.levels[1:]):
             if outer.capacity < inner.capacity:
                 raise ValueError(
@@ -72,6 +78,19 @@ class MemoryHierarchy:
     @property
     def num_levels(self) -> int:
         return len(self.all_levels)
+
+    @property
+    def buffer_pool(self) -> CacheLevel | None:
+        """The buffer-pool level of a disk-extended hierarchy (always
+        the outermost data level), or ``None`` for pure-memory
+        profiles."""
+        last = self.levels[-1]
+        return last if last.is_pool else None
+
+    @property
+    def has_buffer_pool(self) -> bool:
+        """Whether this hierarchy is disk-extended (paper Section 7)."""
+        return self.levels[-1].is_pool
 
     def level(self, name: str) -> CacheLevel:
         """Look a level up by name (data caches and TLBs)."""
@@ -119,6 +138,7 @@ class MemoryHierarchy:
                 seq_miss_latency_ns=level.seq_miss_latency_ns,
                 rand_miss_latency_ns=level.rand_miss_latency_ns,
                 is_tlb=level.is_tlb,
+                is_pool=level.is_pool,
             )
 
         return MemoryHierarchy(

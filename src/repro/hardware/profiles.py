@@ -26,6 +26,7 @@ __all__ = [
     "origin2000_scaled",
     "modern_x86",
     "disk_extended",
+    "disk_extended_scaled",
     "tiny_test_machine",
 ]
 
@@ -187,10 +188,46 @@ def disk_extended(base: MemoryHierarchy | None = None,
         associativity=0,
         seq_miss_latency_ns=seq_page_latency_us * 1e3,
         rand_miss_latency_ns=rand_page_latency_ms * 1e6,
+        is_pool=True,
     )
     return MemoryHierarchy(
         name=base.name + " + disk",
         levels=base.levels + (disk_level,),
+        tlbs=base.tlbs,
+        cpu_speed_mhz=base.cpu_speed_mhz,
+    )
+
+
+def disk_extended_scaled(base: MemoryHierarchy | None = None,
+                         buffer_pool_bytes: int = 4 * KB,
+                         page_size: int = 128,
+                         seq_page_latency_ns: float = 1_000.0,
+                         rand_page_latency_ns: float = 25_000.0
+                         ) -> MemoryHierarchy:
+    """A disk-extended hierarchy small enough for trace-driven simulation.
+
+    Appends a buffer pool of 32 pages (4 KB, 128 B pages) to the tiny
+    test machine — the same capacity-ratio trick as
+    :func:`origin2000_scaled`: all of the out-of-core crossovers depend
+    on working-set *vs* pool-size ratios and on the seek/transfer
+    latency ratio (here 25x, mirroring a disk's ~5 ms seek vs ~40 us
+    page transfer at 1/200 scale), so a few-KB working set exercises
+    exactly the regime a few-GB one does on real hardware — at trace
+    sizes Python can replay.
+    """
+    base = base or tiny_test_machine()
+    pool = CacheLevel(
+        name="BufferPool",
+        capacity=buffer_pool_bytes,
+        line_size=page_size,
+        associativity=0,
+        seq_miss_latency_ns=seq_page_latency_ns,
+        rand_miss_latency_ns=rand_page_latency_ns,
+        is_pool=True,
+    )
+    return MemoryHierarchy(
+        name=base.name + " + disk (scaled)",
+        levels=base.levels + (pool,),
         tlbs=base.tlbs,
         cpu_speed_mhz=base.cpu_speed_mhz,
     )

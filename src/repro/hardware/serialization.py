@@ -34,6 +34,7 @@ def _level_to_dict(level: CacheLevel) -> dict:
         "seq_miss_latency_ns": level.seq_miss_latency_ns,
         "rand_miss_latency_ns": level.rand_miss_latency_ns,
         "is_tlb": level.is_tlb,
+        "is_pool": level.is_pool,
     }
 
 
@@ -47,6 +48,7 @@ def _level_from_dict(data: dict) -> CacheLevel:
             seq_miss_latency_ns=float(data["seq_miss_latency_ns"]),
             rand_miss_latency_ns=float(data["rand_miss_latency_ns"]),
             is_tlb=bool(data.get("is_tlb", False)),
+            is_pool=bool(data.get("is_pool", False)),
         )
     except KeyError as missing:
         raise ValueError(f"cache level entry missing field {missing}") from None

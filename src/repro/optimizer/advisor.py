@@ -29,6 +29,8 @@ from dataclasses import dataclass
 
 from ..core.algorithms import (
     DEFAULT_HASH_MAX_LOAD,
+    external_merge_sort_pattern,
+    grace_hash_join_pattern,
     hash_aggregate_pattern,
     hash_join_pattern,
     hash_table_region,
@@ -38,6 +40,9 @@ from ..core.algorithms import (
     partitioned_hash_join_pattern,
     quick_sort_pattern,
     sort_aggregate_pattern,
+    spill_partition_count,
+    spill_run_count,
+    spilling_hash_aggregate_pattern,
 )
 from ..core.cost import CostEstimate, CostModel
 from ..core.cpu import CPU_CYCLES_PER_ITEM, cpu_ns, sort_depth
@@ -99,17 +104,32 @@ class OperatorAdvisor:
     ----------
     hierarchy:
         Machine profile used for cost derivation.
+    memory_budget:
+        Working-memory bound in bytes (sort area, hash table, group
+        table), or ``None`` for unbounded (pure in-memory planning).
+        When an implementation's working structure exceeds the budget,
+        the in-memory variant is *inadmissible* — the engine could not
+        hold it — and the advisor offers the spilling variant instead,
+        which is how enumeration picks spilling implementations exactly
+        when footprints exceed the budget.
     """
 
     #: Operator kind this advisor covers (registry key).
     operator: str = "?"
 
-    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+    def __init__(self, hierarchy: MemoryHierarchy,
+                 memory_budget: int | None = None) -> None:
+        if memory_budget is not None and memory_budget < 1:
+            raise ValueError("memory_budget must be positive (or None)")
         self.hierarchy = hierarchy
+        self.memory_budget = memory_budget
         self.model = CostModel(hierarchy)
 
     def _min_cache_bytes(self) -> int:
         return min(l.capacity for l in self.hierarchy.all_levels)
+
+    def _exceeds_budget(self, nbytes: int) -> bool:
+        return self.memory_budget is not None and nbytes > self.memory_budget
 
 
 class JoinAdvisor(OperatorAdvisor):
@@ -127,8 +147,9 @@ class JoinAdvisor(OperatorAdvisor):
     operator = "join"
 
     def __init__(self, hierarchy: MemoryHierarchy,
-                 inputs_sorted: bool = False) -> None:
-        super().__init__(hierarchy)
+                 inputs_sorted: bool = False,
+                 memory_budget: int | None = None) -> None:
+        super().__init__(hierarchy, memory_budget=memory_budget)
         self.inputs_sorted = inputs_sorted
         self._min_capacity = self._min_cache_bytes()
 
@@ -181,6 +202,20 @@ class JoinAdvisor(OperatorAdvisor):
         return JoinChoice("nested_loop_join",
                           self.model.estimate(pattern, cpu_ns=cpu))
 
+    def grace_hash_join_choice(self, U: DataRegion, V: DataRegion,
+                               W: DataRegion,
+                               memory_budget: int | None = None
+                               ) -> JoinChoice:
+        """The spilling partitioned hash join under ``memory_budget``
+        (defaults to the advisor's budget, which must then be set)."""
+        budget = self.memory_budget if memory_budget is None else memory_budget
+        if budget is None:
+            raise ValueError("grace hash join needs a memory budget")
+        pattern = grace_hash_join_pattern(U, V, W, budget)
+        cpu = cpu_ns(self.hierarchy, "partitioned_hash_join", U.n + V.n)
+        return JoinChoice("grace_hash_join",
+                          self.model.estimate(pattern, cpu_ns=cpu))
+
     # ------------------------------------------------------------------
     def recommend_partitions(self, V: DataRegion,
                              target_level: str | None = None) -> int:
@@ -207,7 +242,25 @@ class JoinAdvisor(OperatorAdvisor):
         """The implementation candidates a plan enumerator should try
         for these operands, with parameters (partition count) injected.
         Partitioning is offered only when the un-partitioned hash table
-        would not be cache-resident (``m > 1``)."""
+        would not be cache-resident (``m > 1``).
+
+        With a memory budget set and the build table exceeding it, the
+        in-memory hash variants are inadmissible (the engine cannot
+        hold the table): the grace hash join replaces them, its
+        fan-out injected from the shared spill policy.  Merge join
+        stays admissible — its merge phase streams; the budget applies
+        to any sort-ahead through the sort advisor instead."""
+        table_bytes = hash_table_region(
+            V, max_load=DEFAULT_HASH_MAX_LOAD).size
+        if self._exceeds_budget(table_bytes):
+            m = spill_partition_count(table_bytes, self.memory_budget)
+            m = min(m, U.n, V.n)
+            specs = [JoinSpec("merge_join")]
+            if m > 1:
+                specs.append(JoinSpec("grace_hash_join", partitions=m))
+            if include_nested_loop:
+                specs.append(JoinSpec("nested_loop_join"))
+            return specs
         specs = [JoinSpec("merge_join"), JoinSpec("hash_join")]
         m = self.recommend_partitions(V)
         if m > 1:
@@ -218,12 +271,22 @@ class JoinAdvisor(OperatorAdvisor):
 
     def rank(self, U: DataRegion, V: DataRegion, W: DataRegion,
              include_nested_loop: bool = False) -> list[JoinChoice]:
-        """All candidate implementations, cheapest first."""
-        choices = [
-            self.merge_join_choice(U, V, W),
-            self.hash_join_choice(U, V, W),
-            self.partitioned_hash_join_choice(U, V, W),
-        ]
+        """All admissible implementations, cheapest first (the choice
+        set mirrors :meth:`candidate_specs`)."""
+        table_bytes = hash_table_region(
+            V, max_load=DEFAULT_HASH_MAX_LOAD).size
+        if self._exceeds_budget(table_bytes):
+            choices = [self.merge_join_choice(U, V, W)]
+            m = min(spill_partition_count(table_bytes, self.memory_budget),
+                    U.n, V.n)
+            if m > 1:
+                choices.append(self.grace_hash_join_choice(U, V, W))
+        else:
+            choices = [
+                self.merge_join_choice(U, V, W),
+                self.hash_join_choice(U, V, W),
+                self.partitioned_hash_join_choice(U, V, W),
+            ]
         if include_nested_loop:
             choices.append(self.nested_loop_join_choice(U, V, W))
         return sorted(choices, key=lambda c: c.total_ns)
@@ -235,9 +298,9 @@ class JoinAdvisor(OperatorAdvisor):
 
 
 class SortAdvisor(OperatorAdvisor):
-    """Scores sorting (one implementation: in-place quick-sort) and
-    supplies the cache-pruning bound the plan layer injects into
-    quick-sort patterns."""
+    """Scores sorting (in-place quick-sort, or external merge sort once
+    the input exceeds the memory budget) and supplies the cache-pruning
+    bound the plan layer injects into quick-sort patterns."""
 
     operator = "sort"
 
@@ -246,13 +309,38 @@ class SortAdvisor(OperatorAdvisor):
         the smallest cache; deeper quick-sort passes are free."""
         return self._min_cache_bytes()
 
+    def needs_external(self, U: DataRegion) -> bool:
+        """Whether sorting ``U`` in place exceeds the memory budget
+        (quick-sort's working set is the whole array), forcing the
+        external merge sort."""
+        return self._exceeds_budget(U.size)
+
     def quick_sort_choice(self, U: DataRegion) -> OperatorChoice:
         pattern = quick_sort_pattern(U, stop_bytes=self.stop_bytes())
         cpu = cpu_ns(self.hierarchy, "sort", U.n * sort_depth(U.n))
         return OperatorChoice("sort", "quick_sort",
                               self.model.estimate(pattern, cpu_ns=cpu))
 
+    def external_sort_choice(self, U: DataRegion,
+                             memory_budget: int | None = None
+                             ) -> OperatorChoice:
+        budget = self.memory_budget if memory_budget is None else memory_budget
+        if budget is None:
+            raise ValueError("external merge sort needs a memory budget")
+        W = DataRegion(f"sort({U.name})", n=U.n, w=U.w)
+        pattern = external_merge_sort_pattern(U, W, budget,
+                                              stop_bytes=self.stop_bytes())
+        r = spill_run_count(U, budget)
+        run_n = -(-U.n // r)
+        cpu = cpu_ns(self.hierarchy, "sort", U.n * sort_depth(run_n))
+        if r > 1:
+            cpu += cpu_ns(self.hierarchy, "merge_pass", U.n)
+        return OperatorChoice("sort", "external_merge_sort",
+                              self.model.estimate(pattern, cpu_ns=cpu))
+
     def rank(self, U: DataRegion) -> list[OperatorChoice]:
+        if self.needs_external(U):
+            return [self.external_sort_choice(U)]
         return [self.quick_sort_choice(U)]
 
     def best(self, U: DataRegion) -> OperatorChoice:
@@ -283,20 +371,55 @@ class AggregateAdvisor(OperatorAdvisor):
         return OperatorChoice("aggregate", "sort_aggregate",
                               self.model.estimate(pattern, cpu_ns=cpu))
 
-    def candidate_specs(self, composite_input: bool = False) -> list[str]:
+    def spilling_choice(self, U: DataRegion, groups: int,
+                        memory_budget: int | None = None) -> OperatorChoice:
+        """The partitioned (spilling) hash aggregate under
+        ``memory_budget`` (defaults to the advisor's budget)."""
+        budget = self.memory_budget if memory_budget is None else memory_budget
+        if budget is None:
+            raise ValueError("a spilling aggregate needs a memory budget")
+        pattern = spilling_hash_aggregate_pattern(
+            U, self._output_region(groups), groups, budget)
+        cpu = cpu_ns(self.hierarchy, "hash_aggregate", U.n) + cpu_ns(
+            self.hierarchy, "partition_pass", U.n)
+        return OperatorChoice("aggregate", "spilling_hash_aggregate",
+                              self.model.estimate(pattern, cpu_ns=cpu))
+
+    def _group_table_bytes(self, groups: int) -> int:
+        return hash_table_region(
+            DataRegion("G", n=max(1, groups), w=16),
+            max_load=DEFAULT_HASH_MAX_LOAD, name="G").size
+
+    def candidate_specs(self, composite_input: bool = False,
+                        U: DataRegion | None = None,
+                        groups: int | None = None) -> list[str]:
         """Implementation names to try.  Sort-based aggregation groups
         on the raw stored values, so it is not applicable to composite
-        (join-pair) inputs."""
-        specs = ["hash_aggregate"]
-        if not composite_input:
+        (join-pair) inputs.
+
+        With a memory budget set and ``groups`` given, a group table
+        beyond the budget makes the in-memory hash aggregate
+        inadmissible and offers the spilling variant; sort-based
+        aggregation is likewise inadmissible once the (materialized)
+        input it sorts in place exceeds the budget (``U`` given)."""
+        if (groups is not None
+                and self._exceeds_budget(self._group_table_bytes(groups))):
+            specs = ["spilling_hash_aggregate"]
+        else:
+            specs = ["hash_aggregate"]
+        if not composite_input and not (
+                U is not None and self._exceeds_budget(U.size)):
             specs.append("sort_aggregate")
         return specs
 
     def rank(self, U: DataRegion, groups: int,
              composite_input: bool = False) -> list[OperatorChoice]:
-        """All applicable implementations, cheapest first."""
-        choices = [self.hash_choice(U, groups)]
-        if not composite_input:
+        """All admissible implementations, cheapest first."""
+        if self._exceeds_budget(self._group_table_bytes(groups)):
+            choices = [self.spilling_choice(U, groups)]
+        else:
+            choices = [self.hash_choice(U, groups)]
+        if not composite_input and not self._exceeds_budget(U.size):
             choices.append(self.sort_choice(U, groups))
         return sorted(choices, key=lambda c: c.total_ns)
 
@@ -335,10 +458,17 @@ class AdvisorRegistry:
 
 
 def default_registry(hierarchy: MemoryHierarchy,
-                     inputs_sorted: bool = False) -> AdvisorRegistry:
-    """The standard advisor set: join, sort and aggregate."""
+                     inputs_sorted: bool = False,
+                     memory_budget: int | None = None) -> AdvisorRegistry:
+    """The standard advisor set: join, sort and aggregate.
+
+    ``memory_budget`` (bytes of working memory per operator, ``None``
+    for unbounded) makes every advisor rule out in-memory variants
+    whose working structures cannot be held, offering the spilling
+    implementations instead."""
     return AdvisorRegistry((
-        JoinAdvisor(hierarchy, inputs_sorted=inputs_sorted),
-        SortAdvisor(hierarchy),
-        AggregateAdvisor(hierarchy),
+        JoinAdvisor(hierarchy, inputs_sorted=inputs_sorted,
+                    memory_budget=memory_budget),
+        SortAdvisor(hierarchy, memory_budget=memory_budget),
+        AggregateAdvisor(hierarchy, memory_budget=memory_budget),
     ))

@@ -21,6 +21,8 @@ from .optimizer import (
 )
 from .physical import (
     AggregateNode,
+    ExternalSortNode,
+    GraceHashJoinNode,
     HashJoinNode,
     MergeJoinNode,
     NestedLoopJoinNode,
@@ -32,6 +34,7 @@ from .physical import (
     SelectNode,
     SortAggregateNode,
     SortNode,
+    SpillingAggregateNode,
 )
 
 __all__ = [
@@ -48,12 +51,15 @@ __all__ = [
     "SelectNode",
     "ProjectNode",
     "SortNode",
+    "ExternalSortNode",
     "MergeJoinNode",
     "HashJoinNode",
     "NestedLoopJoinNode",
     "PartitionedHashJoinNode",
+    "GraceHashJoinNode",
     "AggregateNode",
     "SortAggregateNode",
+    "SpillingAggregateNode",
     "QueryPlan",
     # optimizer
     "Optimizer",

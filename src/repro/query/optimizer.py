@@ -45,6 +45,8 @@ from ..optimizer.advisor import (
 from .logical import Aggregate, Filter, Join, LogicalOp, Relation, Sort
 from .physical import (
     AggregateNode,
+    ExternalSortNode,
+    GraceHashJoinNode,
     HashJoinNode,
     MergeJoinNode,
     NestedLoopJoinNode,
@@ -56,6 +58,7 @@ from .physical import (
     SelectNode,
     SortAggregateNode,
     SortNode,
+    SpillingAggregateNode,
 )
 
 __all__ = [
@@ -85,6 +88,14 @@ class PlannerConfig:
     #: costed with a full pattern derivation, so raise this only for
     #: small inputs (or call optimize(..., method="exhaustive")).
     max_exhaustive_relations: int = 3
+    #: Working-memory bound per operator in bytes (sort area, hash
+    #: table, group table), or ``None`` for unbounded.  With a budget,
+    #: in-memory implementations whose working structures exceed it are
+    #: inadmissible and the enumerator builds their spilling variants
+    #: (external merge sort, grace hash join, spilling aggregate)
+    #: instead.  Part of this frozen config's ``repr`` and therefore of
+    #: every plan-cache key: cached plans never leak across budgets.
+    memory_budget: int | None = None
 
 
 def plan_signature(node: PlanNode) -> str:
@@ -97,6 +108,8 @@ def plan_signature(node: PlanNode) -> str:
         return f"k({plan_signature(node.child)})"
     if isinstance(node, SortNode):
         return f"sort({plan_signature(node.child)})"
+    if isinstance(node, ExternalSortNode):
+        return f"xsort[r={node.runs()}]({plan_signature(node.child)})"
     if isinstance(node, MergeJoinNode):
         return f"mj({plan_signature(node.left)}, {plan_signature(node.right)})"
     if isinstance(node, HashJoinNode):
@@ -106,10 +119,16 @@ def plan_signature(node: PlanNode) -> str:
     if isinstance(node, PartitionedHashJoinNode):
         return (f"phj[m={node.partitions}]({plan_signature(node.left)}, "
                 f"{plan_signature(node.right)})")
+    if isinstance(node, GraceHashJoinNode):
+        return (f"ghj[m={node.effective_partitions()}]"
+                f"({plan_signature(node.left)}, "
+                f"{plan_signature(node.right)})")
     if isinstance(node, AggregateNode):
         return f"agg({plan_signature(node.child)})"
     if isinstance(node, SortAggregateNode):
         return f"sort_agg({plan_signature(node.child)})"
+    if isinstance(node, SpillingAggregateNode):
+        return f"spill_agg({plan_signature(node.child)})"
     return type(node).__name__
 
 
@@ -208,7 +227,8 @@ class Optimizer:
         self.hierarchy = hierarchy
         self.model = CostModel(hierarchy)
         self.config = config or PlannerConfig()
-        self.registry = registry or default_registry(hierarchy)
+        self.registry = registry or default_registry(
+            hierarchy, memory_budget=self.config.memory_budget)
         self.fingerprint = hierarchy.fingerprint()
         # Cache-key component for the advisor registry: all default
         # registries on one profile are interchangeable; a custom
@@ -233,6 +253,26 @@ class Optimizer:
 
     def _stop_bytes(self) -> int:
         return self._sort_advisor.stop_bytes()
+
+    def _effective_budget(self, advisor) -> int | None:
+        """The budget a spilling node is built with: the planner
+        config's, or — for a custom registry carrying its own budget
+        under a budget-less config — the deciding advisor's.  The
+        advisor that ruled the in-memory variant inadmissible always
+        has one."""
+        if self.config.memory_budget is not None:
+            return self.config.memory_budget
+        return advisor.memory_budget
+
+    def _sort_node(self, child: PlanNode) -> PlanNode:
+        """The admissible sort of ``child``'s output: in-place
+        quick-sort, or external merge sort once the input exceeds the
+        memory budget (the sort advisor's call)."""
+        if self._sort_advisor.needs_external(child.output_region()):
+            return ExternalSortNode(
+                child, self._effective_budget(self._sort_advisor),
+                stop_bytes=self._stop_bytes())
+        return SortNode(child, stop_bytes=self._stop_bytes())
 
     # ------------------------------------------------------------------
     def _resolve_method(self, logical: LogicalOp, method: str) -> str:
@@ -310,7 +350,7 @@ class Optimizer:
                     for alt in self._alternatives(op.child, use_dp)]
         if isinstance(op, Sort):
             return [alt if alt.produces_sorted_output
-                    else SortNode(alt, stop_bytes=self._stop_bytes())
+                    else self._sort_node(alt)
                     for alt in self._alternatives(op.child, use_dp)]
         if isinstance(op, Aggregate):
             if op.key_of is not None and _contains_join(op.child):
@@ -331,7 +371,8 @@ class Optimizer:
                     # the join order the enumerator picked.
                     alt = ProjectNode(alt)
                 names = specs(composite_input=(alt.produces_pairs
-                                               or op.key_of is not None))
+                                               or op.key_of is not None),
+                              U=alt.output_region(), groups=op.groups)
                 for name in names:
                     if name == "hash_aggregate":
                         out.append(AggregateNode(alt, groups=op.groups,
@@ -340,6 +381,12 @@ class Optimizer:
                         out.append(SortAggregateNode(
                             alt, groups=op.groups,
                             stop_bytes=self._stop_bytes()))
+                    elif name == "spilling_hash_aggregate":
+                        out.append(SpillingAggregateNode(
+                            alt, groups=op.groups,
+                            memory_budget=self._effective_budget(
+                                self._aggregate_advisor),
+                            key_of=op.key_of))
             return out
         if isinstance(op, Join):
             leaves = (self._flatten_join(op)
@@ -359,7 +406,10 @@ class Optimizer:
         """The one physical plan that mirrors ``op`` exactly and
         preserves output row order (hash joins follow their outer
         input's order; no reordering, no operand swaps, no sort-based
-        implementations) — required under a positional ``key_of``."""
+        implementations) — required under a positional ``key_of``.
+        Spilling variants repartition rows, so the canonical plan stays
+        in-memory even under a budget (positional grouping over a
+        spilled join would read reshuffled pairs)."""
         if isinstance(op, Relation):
             return ScanNode(column=op.column, region=op.region,
                             sorted=op.sorted)
@@ -446,7 +496,7 @@ class Optimizer:
             for alt in self._alternatives(leaves[index], use_dp=True):
                 keep(subset, alt)
                 if not alt.produces_sorted_output:
-                    keep(subset, SortNode(alt, stop_bytes=self._stop_bytes()))
+                    keep(subset, self._sort_node(alt))
         indices = frozenset(range(n))
         for size in range(2, n + 1):
             for members in combinations(range(n), size):
@@ -477,10 +527,11 @@ class Optimizer:
         return ProjectNode(node) if node.produces_pairs else node
 
     def _sorted_input(self, node: PlanNode) -> PlanNode:
-        """Sort-ahead: order an input for a merge join if needed."""
+        """Sort-ahead: order an input for a merge join if needed
+        (external merge sort when the input exceeds the budget)."""
         if node.produces_sorted_output:
             return node
-        return SortNode(node, stop_bytes=self._stop_bytes())
+        return self._sort_node(node)
 
     def _join_impls(self, left: PlanNode, right: PlanNode,
                     match_fraction: float) -> list[PlanNode]:
@@ -501,6 +552,11 @@ class Optimizer:
                 if m >= 2:
                     impls.append(PartitionedHashJoinNode(
                         left, right, match_fraction, partitions=m))
+            elif spec.algorithm == "grace_hash_join":
+                impls.append(GraceHashJoinNode(
+                    left, right, match_fraction,
+                    memory_budget=self._effective_budget(
+                        self._join_advisor)))
             elif spec.algorithm == "nested_loop_join":
                 impls.append(NestedLoopJoinNode(left, right, match_fraction))
         return impls

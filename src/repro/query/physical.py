@@ -37,6 +37,8 @@ from typing import Callable, Iterator
 
 from ..core.algorithms import (
     DEFAULT_HASH_MAX_LOAD,
+    external_merge_sort_phases,
+    grace_hash_join_phases,
     hash_aggregate_phases,
     hash_build_pattern,
     hash_join_pattern,
@@ -50,6 +52,9 @@ from ..core.algorithms import (
     quick_sort_pattern,
     select_pattern,
     sort_aggregate_pattern,
+    spill_partition_count,
+    spill_run_count,
+    spilling_hash_aggregate_phases,
 )
 from ..core.cost import CostEstimate, CostModel
 from ..core.cpu import cpu_cycles, sort_depth
@@ -62,6 +67,12 @@ from ..db.join import OUTPUT_WIDTH, hash_join, merge_join, nested_loop_join
 from ..db.partition import join_partitions, partition
 from ..db.scan import select
 from ..db.sort import quick_sort
+from ..db.spill import (
+    GraceJoinResult,
+    external_merge_sort,
+    grace_hash_join,
+    spilling_hash_aggregate,
+)
 
 __all__ = [
     "PlanNode",
@@ -69,12 +80,15 @@ __all__ = [
     "SelectNode",
     "ProjectNode",
     "SortNode",
+    "ExternalSortNode",
     "MergeJoinNode",
     "HashJoinNode",
     "NestedLoopJoinNode",
     "PartitionedHashJoinNode",
+    "GraceHashJoinNode",
     "AggregateNode",
     "SortAggregateNode",
+    "SpillingAggregateNode",
     "QueryPlan",
 ]
 
@@ -166,6 +180,13 @@ class PlanNode:
 
     def label(self) -> str:
         return type(self).__name__
+
+    @property
+    def spills(self) -> bool:
+        """Whether this operator runs an out-of-core variant (its
+        working structure exceeded the memory budget); surfaced by
+        :meth:`QueryPlan.explain`."""
+        return False
 
     # -- pipelining interface ------------------------------------------
     @property
@@ -436,6 +457,74 @@ class SortNode(PlanNode):
 
     def label(self) -> str:
         return "sort"
+
+
+@dataclass
+class ExternalSortNode(PlanNode):
+    """External merge sort under a sort-area budget: quick-sort
+    budget-sized runs in place, then merge the sorted runs into a fresh
+    output column with one sequential cursor per run (the classic
+    out-of-core sort; its I/O stays sequential, which is why sort-based
+    plans win once hash tables spill to random page access)."""
+
+    child: PlanNode
+    memory_budget: int = 0
+    stop_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.memory_budget < 1:
+            raise ValueError("memory_budget must be positive")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_region(self) -> DataRegion:
+        src = self.child.output_region()
+        return DataRegion(f"sort({src.name})", n=src.n, w=src.w)
+
+    def runs(self) -> int:
+        return spill_run_count(self.child.output_region(),
+                               self.memory_budget)
+
+    def pattern(self) -> Pattern:
+        run_sorts, merge = external_merge_sort_phases(
+            self.child.output_region(), self.output_region(),
+            self.memory_budget, stop_bytes=self.stop_bytes)
+        if len(run_sorts) == 1:
+            return run_sorts[0]
+        return Seq.of(*run_sorts, merge)
+
+    @property
+    def spills(self) -> bool:
+        return self.runs() > 1
+
+    @property
+    def produces_sorted_output(self) -> bool:
+        return True
+
+    @property
+    def produces_pairs(self) -> bool:
+        return self.child.produces_pairs
+
+    def recover_key(self, row: int, value) -> int:
+        return self.child.recover_key(row, value)
+
+    def cpu_cycles(self) -> float:
+        n = self.child.output_region().n
+        r = self.runs()
+        run_n = -(-n // r)
+        cycles = cpu_cycles("sort", n * sort_depth(run_n))
+        if r > 1:
+            cycles += cpu_cycles("merge_pass", n)
+        return cycles
+
+    def execute(self, db: Database) -> Column:
+        column = self.child.execute(db)
+        return external_merge_sort(db, column, self.memory_budget,
+                                   output_name=self.output_region().name)
+
+    def label(self) -> str:
+        return f"external_sort(runs={self.runs()}, budget={self.memory_budget})"
 
 
 class _JoinNode(PlanNode):
@@ -735,6 +824,113 @@ class PartitionedHashJoinNode(_JoinNode):
 
 
 @dataclass
+class GraceHashJoinNode(_JoinNode):
+    """Grace (spilling partitioned) hash join: partition both inputs
+    until each per-partition hash table fits ``memory_budget``, then
+    hash-join matching partition pairs.  The in-memory
+    :class:`PartitionedHashJoinNode` picks its fan-out to make tables
+    *cache*-resident; this node picks it to make them fit the working
+    memory the engine is allowed at all — the paper's Section 7
+    unification makes the two the same decision at different levels of
+    the hierarchy."""
+
+    left: PlanNode
+    right: PlanNode
+    match_fraction: float = 1.0
+    memory_budget: int = 0
+
+    def __post_init__(self) -> None:
+        self._check_match_fraction()
+        if self.memory_budget < 1:
+            raise ValueError("memory_budget must be positive")
+
+    def effective_partitions(self) -> int:
+        # Clamped exactly like the engine (grace_hash_join): by the
+        # input sizes only — a selective join's small *output* must not
+        # collapse the model's fan-out while the engine still spills.
+        V = self.right.output_region()
+        H = hash_table_region(V, max_load=DEFAULT_HASH_MAX_LOAD)
+        m = spill_partition_count(H.size, self.memory_budget)
+        return max(1, min(m, self.left.output_region().n, V.n))
+
+    @property
+    def spills(self) -> bool:
+        return self.effective_partitions() > 1
+
+    def _phases(self):
+        return grace_hash_join_phases(
+            self.left.output_region(), self.right.output_region(),
+            self.output_region(), self.memory_budget)
+
+    def pattern(self) -> Pattern:
+        phases = self._phases()
+        if phases is None:
+            V = self.right.output_region()
+            H = hash_table_region(V, max_load=DEFAULT_HASH_MAX_LOAD)
+            return hash_join_pattern(self.left.output_region(), V,
+                                     self.output_region(), H=H)
+        part_l, part_r, joins = phases
+        return part_l + part_r + joins
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        # Each partition pass streams its input; the join phase starts
+        # only after both passes finished, so the node itself blocks.
+        return (True, True)
+
+    def cpu_cycles(self) -> float:
+        return cpu_cycles("partitioned_hash_join",
+                          self.left.output_region().n
+                          + self.right.output_region().n)
+
+    def compose(self, pipeline: bool = True) -> tuple[Pattern | None, Pattern | None]:
+        if not pipeline:
+            return super().compose(False)
+        phases = self._phases()
+        if phases is None:
+            return super().compose(True)
+        part_l, part_r, joins = phases
+        prefix_parts: list[Pattern] = []
+        for child, part_pass in ((self.left, part_l), (self.right, part_r)):
+            prefix_parts.append(
+                _compose_edge(child, part_pass, prefix_parts, True))
+        prefix_parts.append(joins)
+        return _seq(*prefix_parts), None
+
+    def execute(self, db: Database) -> Column:
+        left = self.left.execute(db)
+        right = self.right.execute(db)
+        result = grace_hash_join(db, left, right, self.memory_budget,
+                                 output_name=self.output_region().name)
+        if not isinstance(result, GraceJoinResult):
+            # No spill: the plain hash join ran; its pairs are
+            # (outer row, inner payload), so the outer values list is
+            # the key table (the _JoinNode convention).
+            out, _ = result
+            self._keys = left.values
+            return out
+        # Re-index cluster-local pairs to (global output row, local
+        # inner oid), keeping key recovery value-based (same convention
+        # as PartitionedHashJoinNode).
+        values: list = []
+        keys: list[int] = []
+        for out_col, outer_cluster in zip(result.outputs,
+                                          result.outer_parts.clusters):
+            for pair in out_col.values:
+                keys.append(outer_cluster.values[pair[0]])
+                values.append((len(values), pair[1]))
+        self._keys = keys
+        return db.create_column(self.output_region().name, values,
+                                width=OUTPUT_WIDTH)
+
+    def recover_key(self, row: int, value) -> int:
+        return self._keys[value[0]]
+
+    def label(self) -> str:
+        return (f"grace_hash_join(m={self.effective_partitions()}, "
+                f"budget={self.memory_budget})")
+
+
+@dataclass
 class AggregateNode(PlanNode):
     """Hash-based group-count; ``groups`` is the oracle's group count.
     ``key_of`` extracts the grouping key from a stored value (join
@@ -841,6 +1037,99 @@ class SortAggregateNode(PlanNode):
         return f"sort_aggregate(groups={self.groups})"
 
 
+@dataclass
+class SpillingAggregateNode(PlanNode):
+    """Hash-based group-count under a group-table budget: partition the
+    input by (extracted) grouping key until each per-partition group
+    table fits ``memory_budget``, then hash-aggregate every partition.
+    A key meets all its duplicates inside one partition, so the
+    concatenated per-partition results are the exact group counts.
+
+    Two phases like :class:`AggregateNode`: the *partition* pass drains
+    the input (streamed if the child pipelines); the per-partition
+    aggregates run after it."""
+
+    child: PlanNode
+    groups: int = 64
+    memory_budget: int = 0
+    key_of: Callable | None = None
+
+    def __post_init__(self) -> None:
+        if self.groups < 1:
+            raise ValueError("groups must be positive")
+        if self.memory_budget < 1:
+            raise ValueError("memory_budget must be positive")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def output_region(self) -> DataRegion:
+        return DataRegion("agg", n=max(1, self.groups), w=16)
+
+    def _phases(self):
+        return spilling_hash_aggregate_phases(
+            self.child.output_region(), self.output_region(),
+            self.groups, self.memory_budget)
+
+    def pattern(self) -> Pattern:
+        phases = self._phases()
+        if phases is None:
+            G = hash_table_region(
+                DataRegion("G", n=self.groups, w=16),
+                max_load=DEFAULT_HASH_MAX_LOAD, name="G")
+            consume, emit = hash_aggregate_phases(
+                self.child.output_region(), G, self.output_region())
+            return consume + emit
+        partition_pass, aggregates = phases
+        return partition_pass + aggregates
+
+    def effective_partitions(self) -> int:
+        """The spill fan-out, without building the phase patterns —
+        the same policy and clamps ``spilling_hash_aggregate_phases``
+        applies."""
+        G = hash_table_region(DataRegion("G", n=self.groups, w=16),
+                              max_load=DEFAULT_HASH_MAX_LOAD, name="G")
+        m = spill_partition_count(G.size, self.memory_budget)
+        return max(1, min(m, self.child.output_region().n, self.groups))
+
+    @property
+    def spills(self) -> bool:
+        return self.effective_partitions() > 1
+
+    def pipelined_inputs(self) -> tuple[bool, ...]:
+        return (True,)
+
+    def cpu_cycles(self) -> float:
+        n = self.child.output_region().n
+        cycles = cpu_cycles("hash_aggregate", n)
+        if self.spills:
+            cycles += cpu_cycles("partition_pass", n)
+        return cycles
+
+    def compose(self, pipeline: bool = True) -> tuple[Pattern | None, Pattern | None]:
+        if not pipeline:
+            return super().compose(False)
+        phases = self._phases()
+        if phases is None:
+            return super().compose(True)
+        partition_pass, aggregates = phases
+        prefix_parts: list[Pattern] = []
+        prefix_parts.append(
+            _compose_edge(self.child, partition_pass, prefix_parts, True))
+        prefix_parts.append(aggregates)
+        return _seq(*prefix_parts), None
+
+    def execute(self, db: Database) -> Column:
+        source = self.child.execute(db)
+        return spilling_hash_aggregate(db, source, self.memory_budget,
+                                       groups_hint=self.groups,
+                                       key_of=self.key_of)
+
+    def label(self) -> str:
+        return (f"spilling_aggregate(groups={self.groups}, "
+                f"budget={self.memory_budget})")
+
+
 class QueryPlan:
     """A physical plan with derived whole-query costs."""
 
@@ -898,7 +1187,9 @@ class QueryPlan:
     def explain(self, model: CostModel, pipeline: bool = True,
                 notation_width: int = 48) -> str:
         """Per-operator predicted memory cost and pattern notation,
-        post-order, plus the pipeline-aware whole-plan total."""
+        post-order, plus the pipeline-aware whole-plan total broken
+        down per cache level (including a buffer pool, if the profile
+        has one).  Spilling operators are marked ``[spill]``."""
         lines = ["plan (post-order):"]
 
         def clip(text: str) -> str:
@@ -912,11 +1203,18 @@ class QueryPlan:
             own = node.pattern()
             cost = 0.0 if own is None else model.estimate(own).memory_ns
             notation = "—" if own is None else clip(own.notation())
+            marker = "[spill] " if node.spills else ""
             lines.append(f"  {'  ' * depth}{node.label():<28}"
                          f"T_mem {cost / 1e3:>10.1f} us   "
-                         f"out n={node.output_region().n:<8} {notation}")
+                         f"out n={node.output_region().n:<8} "
+                         f"{marker}{notation}")
 
         visit(self.root, 0)
-        total = self.estimate(model, cpu_ns=0.0, pipeline=pipeline).memory_ns
-        lines.append(f"  {'total':<30}T_mem {total / 1e3:>10.1f} us")
+        estimate = self.estimate(model, cpu_ns=0.0, pipeline=pipeline)
+        lines.append(f"  {'total':<30}T_mem "
+                     f"{estimate.memory_ns / 1e3:>10.1f} us")
+        for lc in estimate.levels:
+            lines.append(f"    {lc.name:<12} seq {lc.misses.seq:>10.0f}  "
+                         f"rand {lc.misses.rand:>10.0f}  "
+                         f"T {lc.time_ns / 1e3:>10.1f} us")
         return "\n".join(lines)

@@ -47,6 +47,17 @@ CONTENTION_HEAVY_MIX: Mapping[str, float] = {
     "join_aggregate": 0.3,
 }
 
+#: An I/O-bound mix for disk-extended profiles: joins and aggregates
+#: whose working structures exceed the memory budget, so co-runners
+#: compete for buffer-pool pages the way in-memory queries compete for
+#: cache lines.
+OUT_OF_CORE_MIX: Mapping[str, float] = {
+    "scan": 0.1,
+    "join": 0.4,
+    "aggregate": 0.2,
+    "join_aggregate": 0.3,
+}
+
 
 @dataclass(frozen=True)
 class WorkloadQuery:
@@ -106,6 +117,24 @@ class WorkloadGenerator:
         stress case)."""
         return cls(session=session, seed=seed, scale=scale,
                    mix=CONTENTION_HEAVY_MIX)
+
+    @classmethod
+    def out_of_core(cls, session: Session | None = None, seed: int = 0,
+                    scale: int = 1024,
+                    memory_budget: int = 2 * 1024) -> "WorkloadGenerator":
+        """An I/O-bound workload over a disk-extended profile: tables
+        sized beyond the scaled buffer pool, every operator planned
+        under ``memory_budget`` — so plans spill and the ⊙ co-run
+        model's division extends to buffer-pool pages.  A fresh
+        disk-extended session is created when none is passed; a passed
+        session should use a disk-extended profile and a budget of its
+        own."""
+        if session is None:
+            from ..hardware.profiles import disk_extended_scaled
+            session = Session(hierarchy=disk_extended_scaled(),
+                              memory_budget=memory_budget)
+        return cls(session=session, seed=seed, scale=scale,
+                   mix=OUT_OF_CORE_MIX)
 
     # ------------------------------------------------------------------
     def _populate(self) -> None:

@@ -20,6 +20,7 @@ identical physical plans and share plan-cache entries.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import replace
 from typing import Callable, Sequence
 
 from ..core.cost import CostModel
@@ -67,12 +68,21 @@ class Session:
         Plan cache to use; defaults to a fresh
         :class:`~repro.session.PlanCache`.  Sessions on the same machine
         profile may share one — keys carry the profile fingerprint.
+    memory_budget:
+        Working-memory bound per operator in bytes (sort area, hash
+        table, group table); ``None`` (default) plans purely in memory.
+        With a budget the optimizer compiles spilling implementations
+        exactly when working structures exceed it.  Folded into the
+        planner config — and therefore into every plan-cache key, so
+        cached plans never leak across budgets.  May not be combined
+        with an explicit ``config`` that already sets a budget.
     """
 
     def __init__(self, hierarchy: MemoryHierarchy | None = None,
                  db: Database | None = None,
                  config: PlannerConfig | None = None,
-                 cache: PlanCache | None = None) -> None:
+                 cache: PlanCache | None = None,
+                 memory_budget: int | None = None) -> None:
         if db is not None and hierarchy is not None:
             raise ValueError(
                 "pass either hierarchy or db, not both (a Database "
@@ -80,6 +90,15 @@ class Session:
         self.db = db if db is not None else Database(
             hierarchy if hierarchy is not None else origin2000_scaled())
         self.config = config or PlannerConfig()
+        if memory_budget is not None:
+            if (config is not None
+                    and config.memory_budget is not None
+                    and config.memory_budget != memory_budget):
+                raise ValueError(
+                    "conflicting memory budgets: config.memory_budget="
+                    f"{config.memory_budget} vs memory_budget="
+                    f"{memory_budget}")
+            self.config = replace(self.config, memory_budget=memory_budget)
         # `cache or ...` would drop a shared cache that is still empty
         # (PlanCache defines __len__, so an empty cache is falsy)
         self.plan_cache = cache if cache is not None else PlanCache()
@@ -115,6 +134,12 @@ class Session:
     @property
     def hierarchy(self) -> MemoryHierarchy:
         return self.db.hierarchy
+
+    @property
+    def memory_budget(self) -> int | None:
+        """The working-memory bound compilation plans under (``None``
+        for unbounded in-memory planning)."""
+        return self.config.memory_budget
 
     @property
     def fingerprint(self) -> str:

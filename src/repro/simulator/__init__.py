@@ -7,8 +7,10 @@ counters and latency account provide the "measured" series of every
 experiment.
 """
 
+from .bufferpool import BufferPoolSim
 from .cache import CacheSim
 from .counters import CounterSnapshot, LevelCounters
 from .memory import MemorySystem
 
-__all__ = ["CacheSim", "CounterSnapshot", "LevelCounters", "MemorySystem"]
+__all__ = ["BufferPoolSim", "CacheSim", "CounterSnapshot", "LevelCounters",
+           "MemorySystem"]

@@ -1,0 +1,76 @@
+"""Buffer-pool simulation: the disk level of the unified model.
+
+Paper Section 7 argues that a DBMS buffer pool is "just another cache
+level": its lines are disk pages, a sequential miss is a page transfer,
+a random miss additionally carries the seek.  :class:`BufferPoolSim`
+is therefore a :class:`~repro.simulator.cache.CacheSim` — same LRU
+residency, same EDO sequential/random miss classification — plus the
+one piece of state a pool has that a CPU cache does not: **dirty
+pages**.  A write marks the resident page dirty; evicting a dirty page
+counts a write-back (the page must reach disk before its frame is
+reused).  Write-backs are *counted*, not charged time, keeping the
+simulator's elapsed-time account aligned with the cost model, which —
+like the paper — does not distinguish read and write bandwidth.
+
+The miss counters of this level are what the out-of-core differential
+tests compare against the model's predicted pool-level misses: the
+software analogue of an iostat trace next to the R10000 event counters.
+"""
+
+from __future__ import annotations
+
+from ..hardware.cache_level import CacheLevel
+from .cache import CacheSim
+
+__all__ = ["BufferPoolSim"]
+
+
+class BufferPoolSim(CacheSim):
+    """Trace-driven simulation of a buffer-pool level.
+
+    Parameters
+    ----------
+    level:
+        A :class:`~repro.hardware.CacheLevel` with ``is_pool=True``
+        (``line_size`` is the disk page size).
+    """
+
+    __slots__ = ("_dirty", "write_backs")
+
+    def __init__(self, level: CacheLevel) -> None:
+        super().__init__(level)
+        self._dirty: set[int] = set()
+        self.write_backs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def dirty_pages(self) -> int:
+        """Resident pages modified since they were last written out."""
+        return len(self._dirty)
+
+    def flush(self) -> int:
+        """Write out every dirty page (checkpoint); returns how many
+        write-backs that forced."""
+        forced = len(self._dirty)
+        self.write_backs += forced
+        self._dirty.clear()
+        return forced
+
+    def reset(self) -> None:
+        super().reset()
+        self._dirty.clear()
+        self.write_backs = 0
+
+    # -- CacheSim hooks -------------------------------------------------
+    def _note_write(self, line: int) -> None:
+        self._dirty.add(line)
+
+    def _note_evict(self, line: int) -> None:
+        if line in self._dirty:
+            self._dirty.discard(line)
+            self.write_backs += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"BufferPoolSim({self.name}: {self.hits} hits, "
+                f"{self.seq_misses}+{self.rand_misses} misses, "
+                f"{self.write_backs} write-backs)")

@@ -22,19 +22,21 @@ such operators run at sequential latency.
 
 from __future__ import annotations
 
+from ..core.misses import STREAM_WINDOW
 from ..hardware.cache_level import CacheLevel
 
-__all__ = ["CacheSim", "HIT", "SEQ_MISS", "RAND_MISS"]
+__all__ = ["CacheSim", "HIT", "SEQ_MISS", "RAND_MISS", "STREAM_WINDOW"]
 
 #: Result codes of :meth:`CacheSim.probe`.
 HIT = 0
 SEQ_MISS = 1
 RAND_MISS = 2
 
-#: How many outstanding sequential miss streams the EDO classifier tracks.
-#: Mirrors the handful of outstanding memory references a non-blocking
-#: cache sustains (paper Section 2.2).
-STREAM_WINDOW = 8
+# STREAM_WINDOW — how many outstanding sequential miss streams the EDO
+# classifier tracks — is shared with the cost model's nest
+# reconstruction (:data:`repro.core.misses.STREAM_WINDOW`): the model
+# predicts sequential latency for up to that many interleaved cursors,
+# and the classifier recognises exactly that many.
 
 
 class CacheSim:
@@ -93,12 +95,15 @@ class CacheSim:
         self.rand_misses = 0
 
     # ------------------------------------------------------------------
-    def probe(self, line: int) -> int:
+    def probe(self, line: int, write: bool = False) -> int:
         """Access one line (identified by ``byte_address // line_size``).
 
         Returns :data:`HIT`, :data:`SEQ_MISS` or :data:`RAND_MISS`.  On a
         miss the line is allocated, evicting the set's LRU line if the set
-        is full.
+        is full.  ``write`` does not change hit/miss accounting (the paper
+        costs reads and writes identically, Section 2.2); it feeds the
+        :meth:`_note_write` hook, which buffer-pool levels use to track
+        dirty pages (:class:`~repro.simulator.BufferPoolSim`).
         """
         s = self._sets[line % self._num_sets]
         if line in s:
@@ -106,10 +111,16 @@ class CacheSim:
             del s[line]
             s[line] = None
             self.hits += 1
+            if write:
+                self._note_write(line)
             return HIT
         if len(s) >= self._ways:
-            del s[next(iter(s))]
+            victim = next(iter(s))
+            del s[victim]
+            self._note_evict(victim)
         s[line] = None
+        if write:
+            self._note_write(line)
         recent = self._recent_miss_lines
         if line - 1 in recent:
             # Continuation of an ascending stream: replace the
@@ -132,6 +143,13 @@ class CacheSim:
             self.rand_misses += 1
             result = RAND_MISS
         return result
+
+    # -- subclass hooks (no-ops for plain CPU caches) -------------------
+    def _note_write(self, line: int) -> None:
+        """A write touched ``line`` (now resident)."""
+
+    def _note_evict(self, line: int) -> None:
+        """``line`` was evicted to make room."""
 
     def contains(self, line: int) -> bool:
         """Whether a line is currently resident (no LRU side effect)."""

@@ -19,7 +19,10 @@ counters (see DESIGN.md).
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from ..hardware.hierarchy import MemoryHierarchy
+from .bufferpool import BufferPoolSim
 from .cache import HIT, RAND_MISS, CacheSim
 from .counters import CounterSnapshot, LevelCounters
 
@@ -41,7 +44,10 @@ class MemorySystem:
 
     def __init__(self, hierarchy: MemoryHierarchy) -> None:
         self.hierarchy = hierarchy
-        self.caches = tuple(CacheSim(lvl) for lvl in hierarchy.levels)
+        self.caches = tuple(
+            BufferPoolSim(lvl) if lvl.is_pool else CacheSim(lvl)
+            for lvl in hierarchy.levels
+        )
         self.tlbs = tuple(CacheSim(lvl) for lvl in hierarchy.tlbs)
         self.elapsed_ns = 0.0
         self.accesses = 0
@@ -57,9 +63,11 @@ class MemorySystem:
     def access(self, addr: int, nbytes: int = 1, write: bool = False) -> None:
         """Simulate one memory access to ``[addr, addr + nbytes)``.
 
-        ``write`` is accepted for API clarity but reads and writes are
-        costed identically (the paper does not distinguish read and write
-        bandwidth, Section 2.2).
+        Reads and writes are costed identically (the paper does not
+        distinguish read and write bandwidth, Section 2.2); ``write``
+        additionally marks the touched pages of a buffer-pool level
+        dirty so write-backs are counted
+        (:class:`~repro.simulator.BufferPoolSim`).
         """
         if addr < 0:
             raise ValueError("negative address")
@@ -101,7 +109,7 @@ class MemorySystem:
                         seen_last = cur
             missed = []
             for ln in lines:
-                outcome = sim.probe(ln)
+                outcome = sim.probe(ln, write)
                 if outcome != HIT:
                     missed.append(ln)
                     if outcome == RAND_MISS:
@@ -121,6 +129,30 @@ class MemorySystem:
     def write(self, addr: int, nbytes: int = 1) -> None:
         """Convenience alias for a write access."""
         self.access(addr, nbytes, write=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> BufferPoolSim | None:
+        """The buffer-pool level's simulator (``None`` on pure-memory
+        hierarchies) — its counters are the measured disk I/O."""
+        last = self.caches[-1]
+        return last if isinstance(last, BufferPoolSim) else None
+
+    def replay(self, trace: Iterable[tuple]) -> CounterSnapshot:
+        """Replay a recorded access trace and return the counter delta.
+
+        ``trace`` yields ``(addr, nbytes)`` or ``(addr, nbytes, write)``
+        tuples — the format :class:`repro.service.TraceRecorder`
+        produces.  Replaying a plan's trace against a
+        :func:`~repro.hardware.disk_extended` hierarchy is how the
+        out-of-core tests measure real pool misses for accesses that
+        were recorded once, profile-independently.
+        """
+        before = self.snapshot()
+        access = self.access
+        for entry in trace:
+            access(*entry)
+        return self.snapshot() - before
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

@@ -130,16 +130,36 @@ class TestNest:
         assert many.total > few.total
 
     def test_sequential_order_yields_sequential_misses(self):
+        """Sequential-order cursors miss at sequential latency except
+        each cursor's stream-establishing first miss."""
         r = self.region()
         nest = Nest(r, m=4, local="s_trav", order=SEQUENTIAL)
         pair = basic_pattern_misses(nest, GEO)
-        assert pair.rand == 0.0
+        assert pair.rand == 4.0  # one stream start per cursor
+        assert pair.seq == pytest.approx(pair.total - 4.0)
 
-    def test_random_order_yields_random_misses(self):
+    def test_random_order_few_streams_ride_prefetch(self):
+        """Up to STREAM_WINDOW interleaved sequential cursors each form
+        their own ascending stream, which a non-blocking memory system
+        overlaps at sequential latency (the paper's merge-join
+        observation, Section 2.2) — exactly what the simulator's EDO
+        classifier recognises."""
+        from repro.core import STREAM_WINDOW
         r = self.region()
         nest = Nest(r, m=4, local="s_trav", order=RANDOM)
         pair = basic_pattern_misses(nest, GEO)
-        assert pair.seq == 0.0
+        assert pair.rand == 4.0  # only the stream starts pay random
+        assert pair.seq == pytest.approx(pair.total - 4.0)
+        assert 4 <= STREAM_WINDOW
+
+    def test_random_order_many_streams_miss_randomly(self):
+        """Beyond the stream window the cursors defeat the prefetch
+        overlap: base misses turn random."""
+        from repro.core import STREAM_WINDOW
+        r = self.region()
+        nest = Nest(r, m=2 * STREAM_WINDOW, local="s_trav", order=RANDOM)
+        pair = basic_pattern_misses(nest, GEO)
+        assert pair.seq == 0.0 and pair.rand > 0
 
     def test_wide_items_counted_per_item(self):
         r = DataRegion("R", n=64, w=64)

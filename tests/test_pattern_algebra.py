@@ -315,3 +315,86 @@ class TestComovingCoalescing:
         once = model.estimate(STrav(big)).memory_ns
         twice = model.estimate(Seq.of(STrav(big), STrav(big))).memory_ns
         assert twice == pytest.approx(2 * once)
+
+
+class TestSpillPatternAlgebra:
+    """The out-of-core patterns are compositions in the existing
+    vocabulary — no new basic pattern kinds, only ⊕/⊙ over runs,
+    partitions and pool-resident tables."""
+
+    def _leaves(self, pattern):
+        return leaves_in_order(pattern)
+
+    def test_external_sort_degenerates_to_quick_sort(self):
+        from repro.core import external_merge_sort_pattern, quick_sort_pattern
+        U = DataRegion("U", n=256, w=8)
+        W = DataRegion("sort(U)", n=256, w=8)
+        fits = external_merge_sort_pattern(U, W, memory_budget=1 << 20,
+                                           stop_bytes=64)
+        assert fits == quick_sort_pattern(U, stop_bytes=64)
+
+    def test_external_sort_merge_is_concurrent_sequential_cursors(self):
+        from repro.core import external_merge_sort_phases, spill_run_count
+        U = DataRegion("U", n=1024, w=8)
+        W = DataRegion("sort(U)", n=1024, w=8)
+        run_sorts, merge = external_merge_sort_phases(U, W, 2048)
+        r = spill_run_count(U, 2048)
+        assert len(run_sorts) == r > 1
+        assert isinstance(merge, Conc)
+        assert len(merge.parts) == r + 1          # r runs + the output
+        assert all(isinstance(p, STrav) for p in merge.parts)
+        # the run cursors sweep sub-regions of U, in order
+        for part in merge.parts[:-1]:
+            assert part.region.is_within(U) or part.region.parent is U
+
+    def test_grace_join_degenerates_to_hash_join(self):
+        from repro.core import grace_hash_join_pattern, hash_join_pattern, \
+            hash_table_region, DEFAULT_HASH_MAX_LOAD
+        U = DataRegion("U", n=64, w=8)
+        V = DataRegion("V", n=64, w=8)
+        W = DataRegion("W", n=64, w=16)
+        H = hash_table_region(V, max_load=DEFAULT_HASH_MAX_LOAD)
+        assert grace_hash_join_pattern(U, V, W, 1 << 20) == \
+            hash_join_pattern(U, V, W, H=H)
+
+    def test_spilling_aggregate_degenerates_to_hash_aggregate(self):
+        from repro.core import (DEFAULT_HASH_MAX_LOAD,
+                                hash_aggregate_pattern, hash_table_region,
+                                spilling_hash_aggregate_pattern)
+        U = DataRegion("U", n=256, w=8)
+        W = DataRegion("agg", n=16, w=16)
+        G = hash_table_region(DataRegion("G", n=16, w=16),
+                              max_load=DEFAULT_HASH_MAX_LOAD, name="G")
+        assert spilling_hash_aggregate_pattern(U, W, 16, 1 << 20) == \
+            hash_aggregate_pattern(U, G, W)
+
+    def test_spill_patterns_use_only_basic_vocabulary(self):
+        from repro.core import (BasicPattern, external_merge_sort_pattern,
+                                grace_hash_join_pattern,
+                                spilling_hash_aggregate_pattern)
+        U = DataRegion("U", n=1024, w=8)
+        V = DataRegion("V", n=1024, w=8)
+        W = DataRegion("W", n=1024, w=16)
+        A = DataRegion("agg", n=256, w=16)
+        for pattern in (
+                external_merge_sort_pattern(U, DataRegion("s", 1024, 8), 1024),
+                grace_hash_join_pattern(U, V, W, 2048),
+                spilling_hash_aggregate_pattern(U, A, 256, 1024)):
+            for leaf in self._leaves(pattern):
+                assert isinstance(leaf, BasicPattern)
+
+    def test_grace_partition_fanout_follows_budget(self):
+        from repro.core import (DEFAULT_HASH_MAX_LOAD,
+                                grace_hash_join_phases, hash_table_region,
+                                spill_partition_count)
+        U = DataRegion("U", n=1024, w=8)
+        V = DataRegion("V", n=1024, w=8)
+        W = DataRegion("W", n=1024, w=16)
+        H = hash_table_region(V, max_load=DEFAULT_HASH_MAX_LOAD)
+        for budget in (512, 1024, 4096):
+            phases = grace_hash_join_phases(U, V, W, budget)
+            assert phases is not None
+            _, _, joins = phases
+            m = spill_partition_count(H.size, budget)
+            # one hash join (= one Seq of build ⊕ probe) per partition
+            assert len(joins.parts) == 2 * m

@@ -189,8 +189,8 @@ class TestCostDerivation:
 
     def test_explain_structure_and_clipping(self, db, scaled):
         """One line per operator (post-order, scans marked access-free
-        with —), a whole-plan total, and notation clipped to the
-        requested width."""
+        with —), a whole-plan total broken down per cache level, and
+        notation clipped to the requested width."""
         model = CostModel(scaled)
         left = db.create_column("U", sorted_ints(256), width=8)
         right = db.create_column("V", sorted_ints(256), width=8)
@@ -200,15 +200,21 @@ class TestCostDerivation:
         text = plan.explain(model)
         lines = text.splitlines()
         assert lines[0] == "plan (post-order):"
-        # 5 operator lines + header + total
-        assert len(lines) == 7
-        assert lines[-1].strip().startswith("total")
-        assert "T_mem" in lines[-1]
+        # 5 operator lines + header + total + one row per cache level
+        n_levels = len(scaled.all_levels)
+        assert len(lines) == 7 + n_levels
+        total_index = 6
+        assert lines[total_index].strip().startswith("total")
+        assert "T_mem" in lines[total_index]
+        # one per-level breakdown row per hierarchy level, after total
+        for level, line in zip(scaled.all_levels, lines[total_index + 1:]):
+            assert line.strip().startswith(level.name)
+            assert "seq" in line and "rand" in line
         # bare scans perform no access of their own
         assert sum("—" in line for line in lines) == 2
         # every operator line carries a T_mem figure and the out
         # cardinality of its node
-        for line in lines[1:-1]:
+        for line in lines[1:total_index]:
             assert "T_mem" in line and "out n=" in line
         # aggressive clipping shortens every notation to the ellipsis
         clipped = plan.explain(model, notation_width=8)
