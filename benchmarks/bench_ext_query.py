@@ -2,8 +2,10 @@
 to ... whole queries is straight forward").
 
 A select -> hash-join -> aggregate pipeline is executed on the simulator
-and priced as the ⊕-combination of its operators' patterns; the bench
-reports per-operator and whole-plan predicted vs measured costs.
+through the typed measured path (:func:`repro.query.measure_plan`), so
+the bench reports per-operator and whole-plan predicted vs measured
+costs — and persists the whole sweep as machine-readable
+``results/BENCH_ext_query.json`` via the shared result serialization.
 """
 
 from repro.core import CostModel
@@ -15,7 +17,13 @@ from repro.query import (
     QueryPlan,
     ScanNode,
     SelectNode,
+    measure_plan,
 )
+from repro.validation import payload_from_results
+
+#: The bench's asserted predicted/measured tolerance (the historical
+#: 0.4x..2.0x whole-plan band, as a relative error bound).
+TOLERANCE = 1.0
 
 
 def run_query(n: int):
@@ -33,23 +41,33 @@ def run_query(n: int):
         groups=64,
         key_of=lambda pair: pair[0] % 64,
     ))
-    predicted = plan.estimate(model).memory_ns
-    db.reset()
-    with db.measure() as res:
-        out = plan.execute(db)
-    measured = res[0].elapsed_ns
+    measured = measure_plan(db, plan, model)
     text = "\n".join([
         f"== Extension: whole query (n = {n}) ==",
-        plan.explain(model),
-        f"  measured (simulator)          T_mem {measured / 1e3:>10.1f} us",
-        f"  groups emitted: {len(out.values)}",
+        measured.explanation.to_text(),
+        f"  measured (simulator)          T_mem "
+        f"{measured.measured_ns / 1e3:>10.1f} us",
+        "  per-operator attribution:",
+        measured.attribution_table(),
+        f"  groups emitted: {len(measured.values)}",
     ])
-    return text, predicted, measured
+    return text, measured
 
 
-def test_ext_whole_query(benchmark, save_result):
-    text, predicted, measured = benchmark.pedantic(
-        lambda: run_query(8192), rounds=1, iterations=1,
+def test_ext_whole_query(benchmark, save_result, save_json, quick):
+    sizes = (1024, 4096) if quick else (2048, 8192)
+    results = benchmark.pedantic(
+        lambda: [run_query(n) for n in sizes], rounds=1, iterations=1,
     )
-    save_result("ext_query", text)
-    assert 0.4 * measured <= predicted <= 2.0 * measured
+    texts = [text for text, _ in results]
+    measures = [measured for _, measured in results]
+    save_result("ext_query", "\n\n".join(texts))
+    save_json("ext_query", payload_from_results(
+        "ext_query", list(zip(sizes, measures)), tolerance=TOLERANCE))
+    for measured in measures:
+        assert (0.4 * measured.measured_ns
+                <= measured.predicted_ns
+                <= 2.0 * measured.measured_ns)
+        # the per-operator exclusive deltas sum to the whole-plan time
+        total = sum(op.measured_ns for op in measured.operators)
+        assert abs(total - measured.measured_ns) <= 1e-6 * measured.measured_ns

@@ -13,7 +13,14 @@ out-of-core analogue of the paper's Figure 7e cache crossover.
 from repro.core import CostModel
 from repro.db import Database, random_permutation
 from repro.hardware import disk_extended_scaled
-from repro.query import GraceHashJoinNode, HashJoinNode, QueryPlan, ScanNode
+from repro.query import (
+    GraceHashJoinNode,
+    HashJoinNode,
+    QueryPlan,
+    ScanNode,
+    measure_plan,
+)
+from repro.validation import payload_from_results
 
 MEMORY_BUDGET = 2048  # bytes of working memory (half the scaled pool)
 
@@ -22,6 +29,7 @@ def run_crossover(sizes):
     hw = disk_extended_scaled()
     model = CostModel(hw)
     rows = []
+    measures = []
     for n in sizes:
         db = Database(hw)
         outer = db.create_column("A", random_permutation(n, seed=1), width=8)
@@ -29,18 +37,19 @@ def run_crossover(sizes):
         plain = QueryPlan(HashJoinNode(ScanNode(outer), ScanNode(inner)))
         grace = QueryPlan(GraceHashJoinNode(ScanNode(outer), ScanNode(inner),
                                             memory_budget=MEMORY_BUDGET))
-        _, plain_snap = db.execute_measured(plain)
-        out, grace_snap = db.execute_measured(grace)
-        assert out.n == n  # permutation join: every key matches once
+        plain_res = measure_plan(db, plain, model)
+        grace_res = measure_plan(db, grace, model)
+        assert grace_res.column.n == n  # permutation join: all keys match
+        measures.append(grace_res)
         rows.append({
             "n": n,
             "m": grace.root.effective_partitions(),
-            "plain_meas_us": plain_snap.elapsed_ns / 1e3,
-            "plain_pred_us": plain.estimate(model, cpu_ns=0.0).memory_ns / 1e3,
-            "grace_meas_us": grace_snap.elapsed_ns / 1e3,
-            "grace_pred_us": grace.estimate(model, cpu_ns=0.0).memory_ns / 1e3,
+            "plain_meas_us": plain_res.measured_ns / 1e3,
+            "plain_pred_us": plain_res.predicted_ns / 1e3,
+            "grace_meas_us": grace_res.measured_ns / 1e3,
+            "grace_pred_us": grace_res.predicted_ns / 1e3,
         })
-    return rows
+    return rows, measures
 
 
 def render(rows) -> str:
@@ -60,11 +69,15 @@ def render(rows) -> str:
     return "\n".join(lines)
 
 
-def test_spilling_crossover(benchmark, save_result, quick):
+def test_spilling_crossover(benchmark, save_result, save_json, quick):
     sizes = (64, 256, 1024) if quick else (64, 128, 256, 512, 1024, 2048)
-    rows = benchmark.pedantic(run_crossover, args=(sizes,), rounds=1,
-                              iterations=1)
+    rows, measures = benchmark.pedantic(run_crossover, args=(sizes,),
+                                        rounds=1, iterations=1)
     save_result("ext_spilling", render(rows))
+    # machine-readable series for the chosen (grace) side — the results
+    # embed the full typed MeasuredResult JSON, explanation included
+    save_json("ext_spilling", payload_from_results(
+        "ext_spilling", list(zip(sizes, measures)), tolerance=0.35))
 
     small, large = rows[0], rows[-1]
     # in-budget: grace degenerates to the plain join (no penalty)

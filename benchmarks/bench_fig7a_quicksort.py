@@ -3,15 +3,17 @@ time across table sizes spanning the (scaled) L2 capacity.  The paper's
 headline effect: tables fitting the cache are loaded once during the
 top-level pass; larger tables pay per recursion level."""
 
-from repro.validation import figure7a_quicksort
+from repro.validation import figure7a_quicksort, payload_from_experiment
 
 
-def test_fig7a_quicksort(benchmark, save_result):
+def test_fig7a_quicksort(benchmark, save_result, save_json):
     result = benchmark.pedantic(
         lambda: figure7a_quicksort(sizes_kb=(4, 8, 16, 32, 64, 128, 256)),
         rounds=1, iterations=1,
     )
     save_result("fig7a_quicksort", result.render())
+    save_json("fig7a_quicksort", payload_from_experiment(
+        "fig7a_quicksort", result, tolerance=2.0))
 
     # Crossover shape: per-byte L2 misses flat below C2 (64 kB scaled),
     # clearly rising above.

@@ -2,15 +2,21 @@
 ``||H||`` exceeds the TLB's virtual capacity (scaled C3 = 32 kB) and the
 L2 capacity (scaled C2 = 64 kB)."""
 
-from repro.validation import figure7c_hashjoin, geometric_mean_ratio
+from repro.validation import (
+    figure7c_hashjoin,
+    geometric_mean_ratio,
+    payload_from_experiment,
+)
 
 
-def test_fig7c_hashjoin(benchmark, save_result):
+def test_fig7c_hashjoin(benchmark, save_result, save_json):
     result = benchmark.pedantic(
         lambda: figure7c_hashjoin(sizes_kb=(2, 4, 8, 16, 32, 64, 128)),
         rounds=1, iterations=1,
     )
     save_result("fig7c_hashjoin", result.render())
+    save_json("fig7c_hashjoin", payload_from_experiment(
+        "fig7c_hashjoin", result, tolerance=2.0))
 
     rows = list(result.rows)
     # TLB misses explode across the ||H|| = C3 crossing in both series.

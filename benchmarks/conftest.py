@@ -13,6 +13,7 @@ reduced-size variant of the experiment — the CI smoke setting, which
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -45,5 +46,26 @@ def save_result():
         path.write_text(text + "\n")
         print()
         print(text)
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Persist a machine-readable bench payload as
+    ``results/BENCH_<name>.json``, schema-validated on the way out
+    (:mod:`repro.validation.bench_schema` — the same check the CI
+    smoke step applies to every emitted file)."""
+    from repro.validation.bench_schema import validate_bench_payload
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, payload: dict) -> None:
+        problems = validate_bench_payload(payload)
+        if problems:
+            raise ValueError(
+                f"bench payload {name!r} violates the schema: {problems}")
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     return _save

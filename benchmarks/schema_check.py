@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Validate every emitted ``benchmarks/results/BENCH_*.json`` against
+the shared bench schema (:mod:`repro.validation.bench_schema`).
+
+CI smoke step::
+
+    PYTHONPATH=src python benchmarks/schema_check.py
+
+Exits non-zero when no bench JSON was emitted at all or any file
+violates the schema, printing each problem.
+"""
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.validation.bench_schema import validate_results_dir  # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def main() -> int:
+    reports = validate_results_dir(RESULTS_DIR)
+    if not reports:
+        print(f"no BENCH_*.json found under {RESULTS_DIR} — "
+              "run a bench that emits machine-readable results first "
+              "(e.g. bench_ext_query.py)")
+        return 1
+    failed = 0
+    for name, problems in reports.items():
+        if problems:
+            failed += 1
+            print(f"FAIL {name}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {name}")
+    if failed:
+        print(f"{failed}/{len(reports)} bench JSON files violate the schema")
+        return 1
+    print(f"all {len(reports)} bench JSON files conform to the schema")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

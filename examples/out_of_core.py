@@ -36,9 +36,10 @@ def main() -> None:
           f"(tables are 8 KB each — twice the pool)\n")
 
     print(f"query: {QUERY}")
-    print(session.explain(QUERY))
+    print(session.explain_query(QUERY).to_text())
 
-    result, counters = session.execute_measured(QUERY, restore=True)
+    measured = session.execute_measured(QUERY, restore=True)
+    result, counters = measured.column, measured.counters
     counts = dict(result.values)
     assert counts == {key: 1 for key in range(1024)}
     print(f"\nexecuted: {result.n} groups, all counts correct")

@@ -1,0 +1,75 @@
+"""Per-operator predicted-vs-measured profiling of one query.
+
+The paper validates every cost *formula* against hardware counters, not
+just whole-plan totals.  The typed observability API makes every query
+that experiment: ``Session.execute_measured`` returns a
+:class:`~repro.query.MeasuredResult` whose per-operator attribution
+pairs each operator's simulator counter delta (exclusive — children
+subtracted, so the rows sum to the whole plan) with the model's
+state-threaded prediction for exactly that operator.
+
+This example profiles the same join+aggregate query twice: in memory on
+the scaled Origin2000, and spilling on the disk-extended profile under
+a 1.5 KB working-memory budget (external sorts and a spilling aggregate
+appear, with the buffer pool dominating the bill).
+
+Run with:  PYTHONPATH=src python examples/profile_query.py
+"""
+
+import json
+
+from repro import Session
+from repro.db import random_permutation
+from repro.hardware import disk_extended_scaled, origin2000_scaled
+
+QUERY = ("aggregate(join(filter(orders, even, sel=0.5), customers), "
+         "groups=512)")
+
+
+def make_session(hierarchy, memory_budget=None) -> Session:
+    s = Session(hierarchy=hierarchy, memory_budget=memory_budget)
+    s.create_table("orders", random_permutation(1024, seed=1))
+    s.create_table("customers", random_permutation(1024, seed=2))
+    s.predicate("even", lambda v: v % 2 == 0)
+    return s
+
+
+def profile(title: str, session: Session) -> None:
+    print(f"== {title} ==")
+    # the typed explanation: plan tree + predictions (to_text() renders
+    # the classic breakdown; to_json() round-trips the whole tree)
+    explanation = session.explain_query(QUERY)
+    print(f"chosen plan: {explanation.signature}")
+    print(explanation.to_text())
+    print()
+    # measured execution: whole-plan counters + per-operator attribution
+    result = session.execute_measured(QUERY, restore=True)
+    print("per-operator model vs simulator (memory time):")
+    print(result.attribution_table())
+    print()
+    # per-level, whole plan: the paper's predicted-vs-measured pairs
+    print(f"{'level':<12}{'pred misses':>12}{'meas misses':>12}")
+    for level in result.explanation.levels:
+        measured = result.counters.misses(level.name)
+        print(f"{level.name:<12}{level.total:>12.0f}{measured:>12}")
+    print()
+
+
+def main() -> None:
+    profile("in-memory (scaled Origin2000)",
+            make_session(origin2000_scaled()))
+    profile("out-of-core (disk-extended, 1.5 KB budget)",
+            make_session(disk_extended_scaled(), memory_budget=1536))
+
+    # everything above is machine-readable: the same numbers serialize
+    # through one JSON path (benchmarks persist these as BENCH_*.json)
+    session = make_session(origin2000_scaled())
+    result = session.execute_measured(QUERY, restore=True)
+    payload = result.to_json()
+    print("result.to_json() top-level keys:", sorted(payload))
+    print("serialized size:", len(json.dumps(payload)), "bytes")
+    print("session stats:", session.stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -64,12 +64,12 @@ def main() -> None:
           f"(cache: {s.plan_cache.stats()})")
 
     print("\nchosen plan:")
-    print(stmt.explain())
+    print(stmt.explain_query().to_text())
 
     # -- prepared execution --------------------------------------------
-    out, snapshot = stmt.execute_measured()
-    print(f"\nprepared execution: {len(out.values)} groups in "
-          f"{snapshot.elapsed_ns / 1e3:.1f} us (simulated)")
+    measured = stmt.execute_measured()
+    print(f"\nprepared execution: {len(measured.values)} groups in "
+          f"{measured.measured_ns / 1e3:.1f} us (simulated)")
 
     # -- profile-keyed invalidation ------------------------------------
     print(f"\nprofile {s.fingerprint} -> switching to "

@@ -172,6 +172,37 @@ class CostModel:
             for level in self.hierarchy.all_levels
         }
 
+    def sequential_estimates(self, parts: "list[Pattern | None] | tuple[Pattern | None, ...]"
+                             ) -> tuple[CostEstimate, ...]:
+        """Per-part cost of running ``parts`` one after another (⊕).
+
+        Cache state is threaded left to right (Eqs. 5.1 / 5.2), so each
+        part is priced with the residency its predecessors left behind —
+        exactly how :meth:`estimate` prices the equivalent ``Seq``, which
+        makes these the per-part *attribution* of a materialized
+        execution: operator ``i`` runs after operators ``0..i-1``
+        finished, starting from a cold cache overall.  ``None`` parts
+        (access-free operators, e.g. bare scans) price as zero and leave
+        the state unchanged.  This is the ⊕ dual of
+        :meth:`concurrent_estimates`: that divides one instant among
+        co-runners, this threads one cache through successors."""
+        per_part_levels: list[list[LevelCost]] = [[] for _ in parts]
+        for level in self.hierarchy.all_levels:
+            geo = LevelGeometry(
+                line_size=level.line_size,
+                capacity=float(level.capacity),
+                num_lines=float(level.num_lines),
+            )
+            state = CacheState.empty()
+            for i, part in enumerate(parts):
+                if part is None:
+                    pair = MissPair()
+                else:
+                    pair, state = self._evaluate(part, geo, state)
+                per_part_levels[i].append(LevelCost(level=level, misses=pair))
+        return tuple(CostEstimate(levels=tuple(levels))
+                     for levels in per_part_levels)
+
     def concurrent_estimates(self, parts: "list[Pattern] | tuple[Pattern, ...]"
                              ) -> tuple[CostEstimate, ...]:
         """Per-part cost of running ``parts`` concurrently (⊙).

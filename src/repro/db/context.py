@@ -32,6 +32,10 @@ class Database:
         #: name.  Registration is explicit (see :meth:`register`) so
         #: intermediate results never shadow base tables.
         self.catalog: dict[str, Column] = {}
+        # Active per-operator measurement collector (None outside a
+        # :meth:`operator_measurement` block); plan nodes report their
+        # inclusive counter deltas here.
+        self._operator_probe: list | None = None
 
     # ------------------------------------------------------------------
     def register(self, column: Column, name: str | None = None) -> Column:
@@ -106,6 +110,25 @@ class Database:
     def reset(self) -> None:
         """Cold caches and zeroed counters (address space is kept)."""
         self.mem.reset()
+
+    @contextmanager
+    def operator_measurement(self) -> Iterator[list]:
+        """Collect per-operator counter deltas inside the block.
+
+        While active, every plan-operator execution (any node whose
+        ``execute`` runs against this database — see
+        :meth:`repro.query.PlanNode.execute`) appends an
+        ``(operator, inclusive counter delta)`` pair to the yielded
+        list, children included in the delta.  The scoped-measurement
+        substrate of :func:`repro.query.measure_plan`; nests and
+        restores any outer collector on exit."""
+        records: list = []
+        previous = self._operator_probe
+        self._operator_probe = records
+        try:
+            yield records
+        finally:
+            self._operator_probe = previous
 
     @contextmanager
     def measure(self) -> Iterator[list[CounterSnapshot]]:

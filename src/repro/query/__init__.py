@@ -8,10 +8,23 @@ Three layers:
   whole-plan cost function is the ``⊕``/``⊙`` combination of their
   access patterns, pipeline-aware per Section 3.3),
 * :mod:`repro.query.optimizer` — which plan to pick (join ordering and
-  per-operator implementation selection by derived cost).
+  per-operator implementation selection by derived cost),
+* :mod:`repro.query.observe` — what happened (typed
+  :class:`Explanation` / :class:`QueryResult` / :class:`MeasuredResult`
+  with per-operator predicted-vs-measured attribution).
 """
 
 from .logical import Aggregate, Filter, Join, LogicalOp, Relation, Sort
+from .observe import (
+    Explanation,
+    ExplanationNode,
+    LevelPrediction,
+    MeasuredResult,
+    OperatorMeasurement,
+    QueryResult,
+    capture_measured,
+    measure_plan,
+)
 from .optimizer import (
     Optimizer,
     PlanCandidate,
@@ -67,4 +80,13 @@ __all__ = [
     "PlanCandidate",
     "PlannedQuery",
     "plan_signature",
+    # observability
+    "Explanation",
+    "ExplanationNode",
+    "LevelPrediction",
+    "QueryResult",
+    "MeasuredResult",
+    "OperatorMeasurement",
+    "measure_plan",
+    "capture_measured",
 ]

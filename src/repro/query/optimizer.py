@@ -35,6 +35,7 @@ from itertools import combinations
 
 from ..core.cost import CostEstimate, CostModel
 from ..hardware.hierarchy import MemoryHierarchy
+from .observe import Explanation
 from ..optimizer.advisor import (
     AdvisorRegistry,
     AggregateAdvisor,
@@ -186,6 +187,15 @@ class PlannedQuery:
 
     def __iter__(self):
         return iter(self.candidates)
+
+    def explanation(self, model: CostModel, pipeline: bool = True,
+                    cache_hit: bool | None = None) -> Explanation:
+        """The chosen plan's typed :class:`~repro.query.Explanation`,
+        stamped with this compilation's plan signature (and, when the
+        caller knows it, the compile's plan-cache provenance)."""
+        return self.plan.explanation(model, pipeline=pipeline,
+                                     signature=self.best.signature,
+                                     cache_hit=cache_hit)
 
     def summary(self, limit: int = 8) -> str:
         """Cheapest candidates, one line each."""

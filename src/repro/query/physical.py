@@ -176,6 +176,25 @@ class PlanNode:
         return ()
 
     def execute(self, db: Database) -> Column:
+        """Run this operator (children included) against ``db``.
+
+        When the database's operator probe is active
+        (:meth:`Database.operator_measurement
+        <repro.db.Database.operator_measurement>`), the run is scoped
+        in simulator snapshots and its inclusive counter delta is
+        reported — the substrate of per-operator measured attribution
+        (:class:`repro.query.MeasuredResult`).  The operator work
+        itself lives in :meth:`_run`."""
+        probe = db._operator_probe
+        if probe is None:
+            return self._run(db)
+        before = db.mem.snapshot()
+        out = self._run(db)
+        probe.append((self, db.mem.snapshot() - before))
+        return out
+
+    def _run(self, db: Database) -> Column:
+        """The operator's work (subclass hook; call :meth:`execute`)."""
         raise NotImplementedError
 
     def label(self) -> str:
@@ -292,7 +311,7 @@ class ScanNode(PlanNode):
     def produces_sorted_output(self) -> bool:
         return self.sorted
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         if self.column is None:
             raise ValueError(
                 f"scan of bare region {self.region.name} is model-only"
@@ -347,7 +366,7 @@ class SelectNode(PlanNode):
     def cpu_cycles(self) -> float:
         return cpu_cycles("select", self.child.output_region().n)
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         source = self.child.execute(db)
         return select(db, source, self.predicate,
                       output_name=self.output_region().name)
@@ -398,7 +417,7 @@ class ProjectNode(PlanNode):
     def cpu_cycles(self) -> float:
         return cpu_cycles("project", self.child.output_region().n)
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         source = self.child.execute(db)
         mem = db.mem
         u = min(self.width, source.width)
@@ -450,7 +469,7 @@ class SortNode(PlanNode):
         n = self.child.output_region().n
         return cpu_cycles("sort", n * sort_depth(n))
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         column = self.child.execute(db)
         quick_sort(db, column)
         return column
@@ -518,7 +537,7 @@ class ExternalSortNode(PlanNode):
             cycles += cpu_cycles("merge_pass", n)
         return cycles
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         column = self.child.execute(db)
         return external_merge_sort(db, column, self.memory_budget,
                                    output_name=self.output_region().name)
@@ -591,7 +610,7 @@ class MergeJoinNode(_JoinNode):
         return cpu_cycles("merge_join", self.left.output_region().n
                           + self.right.output_region().n)
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         left = self.left.execute(db)
         right = self.right.execute(db)
         self._outer_values = left.values
@@ -660,7 +679,7 @@ class HashJoinNode(_JoinNode):
         stream = _compose_edge(self.left, probe, prefix_parts, True)
         return _seq(*prefix_parts), stream
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         left = self.left.execute(db)
         right = self.right.execute(db)
         self._outer_values = left.values
@@ -707,7 +726,7 @@ class NestedLoopJoinNode(_JoinNode):
                           self.left.output_region().n
                           * self.right.output_region().n)
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         left = self.left.execute(db)
         right = self.right.execute(db)
         self._outer_values = left.values
@@ -787,7 +806,7 @@ class PartitionedHashJoinNode(_JoinNode):
         prefix_parts.append(joins)
         return _seq(*prefix_parts), None
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         left = self.left.execute(db)
         right = self.right.execute(db)
         # The cluster count the pattern was priced with, re-clamped only
@@ -896,7 +915,7 @@ class GraceHashJoinNode(_JoinNode):
         prefix_parts.append(joins)
         return _seq(*prefix_parts), None
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         left = self.left.execute(db)
         right = self.right.execute(db)
         result = grace_hash_join(db, left, right, self.memory_budget,
@@ -986,7 +1005,7 @@ class AggregateNode(PlanNode):
         prefix_parts.append(emit)
         return _seq(*prefix_parts), None
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         source = self.child.execute(db)
         return hash_aggregate(db, source, groups_hint=self.groups,
                               key_of=self.key_of)
@@ -1029,7 +1048,7 @@ class SortAggregateNode(PlanNode):
         return (cpu_cycles("sort", n * sort_depth(n))
                 + cpu_cycles("aggregate_pass", n))
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         source = self.child.execute(db)
         return sort_aggregate(db, source)
 
@@ -1119,7 +1138,7 @@ class SpillingAggregateNode(PlanNode):
         prefix_parts.append(aggregates)
         return _seq(*prefix_parts), None
 
-    def execute(self, db: Database) -> Column:
+    def _run(self, db: Database) -> Column:
         source = self.child.execute(db)
         return spilling_hash_aggregate(db, source, self.memory_budget,
                                        groups_hint=self.groups,
@@ -1184,37 +1203,26 @@ class QueryPlan:
     def execute(self, db: Database) -> Column:
         return self.root.execute(db)
 
+    def explanation(self, model: CostModel, pipeline: bool = True,
+                    signature: str | None = None,
+                    cache_hit: bool | None = None) -> "Explanation":
+        """This plan's typed :class:`~repro.query.Explanation`: the
+        operator tree with per-node pattern notation, spill flags, and
+        per-cache-level predictions (standalone and state-threaded),
+        plus the pipeline-aware whole-plan totals."""
+        from .observe import Explanation
+        return Explanation.from_plan(self, model, pipeline=pipeline,
+                                     signature=signature,
+                                     cache_hit=cache_hit)
+
     def explain(self, model: CostModel, pipeline: bool = True,
                 notation_width: int = 48) -> str:
         """Per-operator predicted memory cost and pattern notation,
         post-order, plus the pipeline-aware whole-plan total broken
         down per cache level (including a buffer pool, if the profile
-        has one).  Spilling operators are marked ``[spill]``."""
-        lines = ["plan (post-order):"]
+        has one).  Spilling operators are marked ``[spill]``.
 
-        def clip(text: str) -> str:
-            if len(text) <= notation_width:
-                return text
-            return text[: notation_width - 1] + "…"
-
-        def visit(node: PlanNode, depth: int) -> None:
-            for child in node.children():
-                visit(child, depth + 1)
-            own = node.pattern()
-            cost = 0.0 if own is None else model.estimate(own).memory_ns
-            notation = "—" if own is None else clip(own.notation())
-            marker = "[spill] " if node.spills else ""
-            lines.append(f"  {'  ' * depth}{node.label():<28}"
-                         f"T_mem {cost / 1e3:>10.1f} us   "
-                         f"out n={node.output_region().n:<8} "
-                         f"{marker}{notation}")
-
-        visit(self.root, 0)
-        estimate = self.estimate(model, cpu_ns=0.0, pipeline=pipeline)
-        lines.append(f"  {'total':<30}T_mem "
-                     f"{estimate.memory_ns / 1e3:>10.1f} us")
-        for lc in estimate.levels:
-            lines.append(f"    {lc.name:<12} seq {lc.misses.seq:>10.0f}  "
-                         f"rand {lc.misses.rand:>10.0f}  "
-                         f"T {lc.time_ns / 1e3:>10.1f} us")
-        return "\n".join(lines)
+        Rendered via :meth:`explanation` — prefer that for anything
+        machine-readable; this is its ``to_text()``."""
+        return self.explanation(model, pipeline=pipeline).to_text(
+            notation_width=notation_width)

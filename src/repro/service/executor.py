@@ -31,6 +31,7 @@ from typing import Sequence
 
 from ..db.context import Database
 from ..hardware.hierarchy import MemoryHierarchy
+from ..query.observe import MeasuredResult, measure_plan
 from ..query.optimizer import plan_signature
 from ..query.physical import QueryPlan
 from ..session import Session
@@ -223,12 +224,28 @@ class ServiceExecutor:
         batch_metrics: list[BatchMetrics] = []
         for index, batch in enumerate(batches):
             prediction = self.interference.co_run([t.plan for t in batch])
-            traces = [record_trace(db, t.plan) for t in batch]
-            replay = replay_interleaved(self.session.hierarchy, traces,
-                                        quantum=self.quantum)
+            if len(batch) == 1:
+                # A solo member needs no interleaving: run it through
+                # the typed measured path, which yields the identical
+                # cold-cache counters a single-trace replay would (the
+                # out-of-core suite proves replay == execution) *plus*
+                # per-operator predicted-vs-measured attribution.
+                measured = self._measure_solo(db, batch[0].plan)
+                memory_ns = (measured.measured_ns,)
+                finish_ns = (measured.measured_ns,)
+                total_ns = measured.measured_ns
+                operators = (measured.operators,)
+            else:
+                traces = [record_trace(db, t.plan) for t in batch]
+                replay = replay_interleaved(self.session.hierarchy, traces,
+                                            quantum=self.quantum)
+                memory_ns = replay.memory_ns
+                finish_ns = replay.finish_ns
+                total_ns = replay.total_ns
+                operators = (None,) * len(batch)
             finishes = []
-            for t, mem_ns, mem_finish in zip(batch, replay.memory_ns,
-                                             replay.finish_ns):
+            for t, mem_ns, mem_finish, ops in zip(batch, memory_ns,
+                                                  finish_ns, operators):
                 # A member is done once its accesses have drained *and*
                 # its own CPU work fits after/between them.
                 finish = max(mem_finish, mem_ns + t.cpu_ns)
@@ -238,15 +255,36 @@ class ServiceExecutor:
                     kind=t.query.kind, signature=t.signature,
                     batch_index=index, cache_hit=t.cache_hit,
                     start_ns=clock, finish_ns=clock + finish,
-                    memory_ns=mem_ns, cpu_ns=t.cpu_ns))
-            makespan = max(max(finishes), replay.total_ns)
+                    memory_ns=mem_ns, cpu_ns=t.cpu_ns,
+                    operators=ops))
+            makespan = max(max(finishes), total_ns)
             batch_metrics.append(BatchMetrics(
                 index=index, size=len(batch),
                 predicted_memory_ns=prediction.batch_memory_ns,
-                measured_memory_ns=replay.total_ns,
+                measured_memory_ns=total_ns,
                 predicted_makespan_ns=prediction.makespan_ns,
                 measured_makespan_ns=makespan))
             clock += makespan
         query_metrics.sort(key=lambda m: m.qid)
         return WorkloadReport(self.policy.name, query_metrics,
                               batch_metrics)
+
+    def _measure_solo(self, db: Database, plan: QueryPlan) -> MeasuredResult:
+        """One plan's cold typed measurement over the shared engine.
+
+        Runs against a *fresh* memory system swapped in for the
+        duration (the engine's own clock and cache state stay
+        untouched, exactly as trace recording + replay guaranteed),
+        with base columns restored so every batch member observes the
+        same base state."""
+        real = db.mem
+        db.mem = MemorySystem(self.session.hierarchy)
+        try:
+            with _restored_columns(db):
+                return measure_plan(db, plan, self.session.model,
+                                    pipeline=self.session.config.pipeline,
+                                    cold=False,  # the swapped-in system
+                                                 # is already cold
+                                    signature=plan_signature(plan.root))
+        finally:
+            db.mem = real

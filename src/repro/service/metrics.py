@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..query.observe import OperatorMeasurement
+
 __all__ = ["percentile", "QueryMetrics", "BatchMetrics", "WorkloadReport"]
 
 
@@ -49,11 +51,29 @@ class QueryMetrics:
     memory_ns: float
     #: Calibrated pure-CPU time.
     cpu_ns: float
+    #: Per-operator predicted-vs-measured attribution
+    #: (:class:`~repro.query.OperatorMeasurement`), available when the
+    #: query ran solo (a singleton batch executes through the typed
+    #: measured path); ``None`` for co-run members, whose interleaved
+    #: accesses have no per-operator scope.
+    operators: tuple[OperatorMeasurement, ...] | None = None
 
     @property
     def latency_ns(self) -> float:
         """Arrival is simulated time zero, so latency = completion."""
         return self.finish_ns
+
+    def to_json(self) -> dict:
+        out = {
+            "qid": self.qid, "client": self.client, "kind": self.kind,
+            "signature": self.signature, "batch_index": self.batch_index,
+            "cache_hit": self.cache_hit, "start_ns": self.start_ns,
+            "finish_ns": self.finish_ns, "latency_ns": self.latency_ns,
+            "memory_ns": self.memory_ns, "cpu_ns": self.cpu_ns,
+        }
+        if self.operators is not None:
+            out["operators"] = [op.to_json() for op in self.operators]
+        return out
 
 
 @dataclass(frozen=True)
@@ -76,6 +96,16 @@ class BatchMetrics:
             return 0.0
         return (abs(self.predicted_memory_ns - self.measured_memory_ns)
                 / self.measured_memory_ns)
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index, "size": self.size,
+            "predicted_memory_ns": self.predicted_memory_ns,
+            "measured_memory_ns": self.measured_memory_ns,
+            "predicted_makespan_ns": self.predicted_makespan_ns,
+            "measured_makespan_ns": self.measured_makespan_ns,
+            "contention_error": self.contention_error,
+        }
 
 
 class WorkloadReport:
@@ -125,6 +155,23 @@ class WorkloadReport:
         if not shared:
             return 0.0
         return sum(shared) / len(shared)
+
+    def to_json(self) -> dict:
+        """The whole run as a JSON-serializable dict — built from the
+        same typed vocabulary (per-operator measurements included where
+        available) the query layer's results serialize with."""
+        return {
+            "kind": "workload_report",
+            "policy": self.policy,
+            "makespan_ns": self.makespan_ns,
+            "throughput_qps": self.throughput_qps,
+            "p50_latency_ns": self.p50_latency_ns,
+            "p95_latency_ns": self.p95_latency_ns,
+            "cache_hits": self.cache_hits,
+            "mean_contention_error": self.mean_contention_error,
+            "queries": [q.to_json() for q in self.queries],
+            "batches": [b.to_json() for b in self.batches],
+        }
 
     # ------------------------------------------------------------------
     def render(self) -> str:

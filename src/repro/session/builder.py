@@ -98,16 +98,31 @@ class QueryBuilder:
         :class:`~repro.session.PreparedStatement`."""
         return self.session.prepare(self)
 
+    def explain_query(self):
+        """The chosen plan's typed
+        :class:`~repro.query.Explanation`."""
+        return self.session.explain_query(self)
+
     def explain(self) -> str:
-        """Per-operator cost/pattern breakdown of the chosen plan."""
+        """Per-operator cost/pattern breakdown of the chosen plan.
+
+        .. deprecated:: 1.2
+           Use :meth:`explain_query` (typed; ``.to_text()`` renders)."""
         return self.session.explain(self)
 
     def execute(self, restore: bool = False) -> "Column":
         """Compile (cached) and run the chosen plan."""
         return self.session.execute(self, restore=restore)
 
+    def run(self, restore: bool = False):
+        """Compile (cached) and run, returning a typed
+        :class:`~repro.query.QueryResult`."""
+        return self.session.run(self, restore=restore)
+
     def execute_measured(self, cold: bool = True, restore: bool = False):
-        """Compile (cached), run, and return ``(result, counters)``."""
+        """Compile (cached), run, and measure; returns a typed
+        :class:`~repro.query.MeasuredResult` (legacy
+        ``(result, counters)`` unpacking still supported)."""
         return self.session.execute_measured(self, cold=cold,
                                              restore=restore)
 

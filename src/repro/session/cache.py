@@ -13,13 +13,20 @@ every cached plan without any explicit invalidation walk.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
 from ..db.column import Column
 from ..query.logical import LogicalOp
+from ..query.observe import (
+    Explanation,
+    MeasuredResult,
+    QueryResult,
+    capture_measured,
+    execute_result,
+)
 from ..query.optimizer import PlannedQuery
-from ..simulator.counters import CounterSnapshot
 
 if TYPE_CHECKING:
     from .session import Session
@@ -96,6 +103,7 @@ class PreparedStatement:
         self.logical = logical
         self._planned = planned
         self._fingerprint = fingerprint
+        self._recompiled = False
 
     # ------------------------------------------------------------------
     @property
@@ -119,11 +127,37 @@ class PreparedStatement:
         if current != self._fingerprint:
             self._planned = self.session.compile(self.logical)
             self._fingerprint = current
+            self._recompiled = True
         return self._planned
 
+    def _reused(self) -> bool:
+        """Whether the last revalidation reused the existing
+        compilation (the prepared analogue of a plan-cache hit)."""
+        reused = not getattr(self, "_recompiled", False)
+        self._recompiled = False
+        return reused
+
     # ------------------------------------------------------------------
+    def explain_query(self) -> Explanation:
+        """The chosen plan's typed
+        :class:`~repro.query.Explanation` (signature included)."""
+        planned = self._revalidate()
+        return planned.explanation(self.session.model,
+                                   pipeline=self.session.config.pipeline,
+                                   cache_hit=self._reused())
+
     def explain(self) -> str:
-        """Per-operator cost/pattern breakdown of the chosen plan."""
+        """Per-operator cost/pattern breakdown of the chosen plan.
+
+        .. deprecated:: 1.2
+           Returns an opaque string; use :meth:`explain_query` for the
+           typed tree (``explain_query().to_text()`` renders it —
+           note the typed path also reports reuse provenance).
+        """
+        warnings.warn(
+            "PreparedStatement.explain() returning a bare string is "
+            "deprecated; use explain_query() for the typed Explanation",
+            DeprecationWarning, stacklevel=2)
         planned = self._revalidate()
         return planned.plan.explain(
             self.session.model, pipeline=self.session.config.pipeline)
@@ -140,13 +174,37 @@ class PreparedStatement:
         with self.session._restoring(restore):
             return self.session.db.execute(plan)
 
+    def run(self, restore: bool = False) -> QueryResult:
+        """Run the chosen plan, returning a typed
+        :class:`~repro.query.QueryResult` (column, explanation,
+        reuse provenance, wall/simulated time)."""
+        planned = self._revalidate()
+        session = self.session
+        explanation = planned.explanation(session.model,
+                                          pipeline=session.config.pipeline,
+                                          cache_hit=self._reused())
+        return execute_result(session.db, planned.plan, explanation,
+                              restoring=session._restoring(restore))
+
     def execute_measured(self, cold: bool = True, restore: bool = False
-                         ) -> tuple[Column, CounterSnapshot]:
-        """Run the chosen plan and return ``(result, counter delta)``
-        (see :meth:`repro.db.Database.execute_measured`)."""
-        plan = self._revalidate().plan
+                         ) -> MeasuredResult:
+        """Run and measure the chosen plan, returning a typed
+        :class:`~repro.query.MeasuredResult` with per-operator
+        predicted-vs-measured attribution.
+
+        .. deprecated:: 1.2
+           This method used to return a bare
+           ``(Column, CounterSnapshot)`` tuple; unpacking still works
+           for one release (with a :class:`DeprecationWarning`) —
+           migrate to ``result.column`` / ``result.counters``.
+        """
+        planned = self._revalidate()
+        explanation = planned.explanation(
+            self.session.model, pipeline=self.session.config.pipeline,
+            cache_hit=self._reused())
         with self.session._restoring(restore):
-            return self.session.db.execute_measured(plan, cold=cold)
+            return capture_measured(self.session.db, planned.plan,
+                                    explanation, cold=cold)
 
     def __repr__(self) -> str:
         return (f"PreparedStatement({self._planned.best.signature}, "

@@ -19,6 +19,7 @@ identical physical plans and share plan-cache entries.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from dataclasses import replace
 from typing import Callable, Sequence
@@ -30,8 +31,14 @@ from ..db.context import Database
 from ..hardware.hierarchy import MemoryHierarchy
 from ..hardware.profiles import origin2000_scaled
 from ..query.logical import LogicalOp, Relation
+from ..query.observe import (
+    Explanation,
+    MeasuredResult,
+    QueryResult,
+    capture_measured,
+    execute_result,
+)
 from ..query.optimizer import Optimizer, PlannedQuery, PlannerConfig
-from ..simulator.counters import CounterSnapshot
 from .builder import QueryBuilder
 from .cache import PlanCache, PreparedStatement
 from .frontend import parse_query
@@ -108,6 +115,11 @@ class Session:
         #: plan cache (per-query provenance for shared-cache clients;
         #: :meth:`PlanCache.stats` only counts globally).
         self.last_compile_cached: bool = False
+        #: Session-local plan-cache hit/miss counters (the shared
+        #: :class:`PlanCache` counts globally across clients); surfaced
+        #: by :meth:`stats`.
+        self.compile_hits: int = 0
+        self.compile_misses: int = 0
         self._rebind(self.db.hierarchy)
 
     def spawn(self) -> "Session":
@@ -253,8 +265,11 @@ class Session:
         planned = self.plan_cache.get(key)
         self.last_compile_cached = planned is not None
         if planned is None:
+            self.compile_misses += 1
             planned = self.optimizer.optimize(logical)
             self.plan_cache.put(key, planned)
+        else:
+            self.compile_hits += 1
         return planned
 
     def prepare(self, q) -> PreparedStatement:
@@ -279,28 +294,91 @@ class Session:
     def execute(self, q, restore: bool = False) -> Column:
         """Compile (cached) and run the chosen plan.  ``restore=True``
         puts registered columns' values back afterwards (see the class
-        docstring on in-place execution)."""
+        docstring on in-place execution).
+
+        The bare-column fast path; :meth:`run` returns the same
+        execution as a typed :class:`~repro.query.QueryResult` with
+        plan provenance and timing attached."""
         with self._restoring(restore):
             return self.db.execute(self.compile(q).plan)
 
+    def run(self, q, restore: bool = False) -> QueryResult:
+        """Compile (cached) and run the chosen plan, returning a typed
+        :class:`~repro.query.QueryResult`: the result column, the
+        plan's :class:`~repro.query.Explanation` (signature included),
+        the compile's plan-cache provenance, and wall/simulated
+        execution time."""
+        planned = self.compile(q)
+        explanation = planned.explanation(self.model,
+                                          pipeline=self.config.pipeline,
+                                          cache_hit=self.last_compile_cached)
+        return execute_result(self.db, planned.plan, explanation,
+                              restoring=self._restoring(restore))
+
     def execute_measured(self, q, cold: bool = True, restore: bool = False
-                         ) -> tuple[Column, CounterSnapshot]:
-        """Compile (cached), run, and measure the chosen plan."""
+                         ) -> MeasuredResult:
+        """Compile (cached), run, and measure the chosen plan.
+
+        Returns a :class:`~repro.query.MeasuredResult`: the result
+        column, the whole-plan counter delta, and per-operator measured
+        attribution next to the model's per-operator predictions —
+        every query is a paper-style model-vs-measured experiment.
+
+        .. deprecated:: 1.2
+           This method used to return a bare
+           ``(Column, CounterSnapshot)`` tuple.  Unpacking the result
+           still works for one release (with a
+           :class:`DeprecationWarning`); migrate to ``result.column``
+           and ``result.counters``.
+        """
+        planned = self.compile(q)
+        cache_hit = self.last_compile_cached
+        explanation = planned.explanation(self.model,
+                                          pipeline=self.config.pipeline,
+                                          cache_hit=cache_hit)
         with self._restoring(restore):
-            return self.db.execute_measured(self.compile(q).plan, cold=cold)
+            return capture_measured(self.db, planned.plan, explanation,
+                                    cold=cold)
+
+    def explain_query(self, q) -> Explanation:
+        """The chosen plan's typed :class:`~repro.query.Explanation` —
+        operator tree, pattern notation, spill flags, per-cache-level
+        predictions — stamped with the compile's plan-cache provenance
+        (hit/miss).  ``explain_query(q).to_text()`` is the classic
+        rendered breakdown."""
+        planned = self.compile(q)
+        return planned.explanation(self.model,
+                                   pipeline=self.config.pipeline,
+                                   cache_hit=self.last_compile_cached)
 
     def explain(self, q) -> str:
         """Per-operator cost/pattern breakdown of the chosen plan,
-        marked with the compile's plan-cache provenance (hit/miss)."""
-        text = self.compile(q).plan.explain(self.model,
-                                            pipeline=self.config.pipeline)
-        provenance = "hit" if self.last_compile_cached else "miss"
-        return f"{text}\n  plan cache: {provenance}"
+        marked with the compile's plan-cache provenance (hit/miss).
+
+        .. deprecated:: 1.2
+           Returns an opaque string; use :meth:`explain_query` for the
+           typed tree (this is its ``to_text()``).
+        """
+        warnings.warn(
+            "Session.explain() returning a bare string is deprecated; "
+            "use explain_query(q) for the typed Explanation "
+            "(explain_query(q).to_text() is this string)",
+            DeprecationWarning, stacklevel=2)
+        return self.explain_query(q).to_text()
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, object]:
-        """Cache statistics plus the active profile fingerprint."""
+        """Cache statistics plus the active profile fingerprint.
+
+        ``hits``/``misses``/``entries`` count over the (possibly
+        shared) :class:`PlanCache`; ``session_hits``/``session_misses``
+        count this session's own compiles, and ``last_compile_cached``
+        is the most recent compile's provenance (the per-query flag the
+        plan cache cannot see)."""
         stats: dict[str, object] = dict(self.plan_cache.stats())
+        stats["session_hits"] = self.compile_hits
+        stats["session_misses"] = self.compile_misses
+        stats["last_compile_cached"] = self.last_compile_cached
         stats["profile"] = self.fingerprint
         return stats
 

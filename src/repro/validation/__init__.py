@@ -1,5 +1,12 @@
 """Model-vs-measurement experiment harness (paper Section 6)."""
 
+from .bench_schema import (
+    payload_from_experiment,
+    payload_from_results,
+    validate_bench_file,
+    validate_bench_payload,
+    validate_results_dir,
+)
 from .cpu_cost import CpuCostModel, calibrate_cpu_cost
 from .microbench import figure5, figure6, measure_traversal
 from .plotting import ascii_plot
@@ -27,4 +34,9 @@ __all__ = [
     "CpuCostModel",
     "calibrate_cpu_cost",
     "ascii_plot",
+    "validate_bench_payload",
+    "validate_bench_file",
+    "validate_results_dir",
+    "payload_from_results",
+    "payload_from_experiment",
 ]

@@ -1,0 +1,168 @@
+"""Schema for the machine-readable benchmark results (``BENCH_*.json``).
+
+Every benchmark that reports model-vs-measured numbers can persist them
+as ``benchmarks/results/BENCH_<name>.json`` via the shared payload
+builders below — one flat, diffable shape for the whole perf
+trajectory:
+
+* ``bench`` — the benchmark name,
+* ``sizes`` — the x-axis points the bench swept,
+* ``series`` — per point: predicted vs measured memory time (ns) and
+  their relative ``error``, optionally with the full typed result
+  (:meth:`QueryResult.to_json <repro.query.QueryResult.to_json>`) or
+  experiment (:meth:`ExperimentResult.to_json
+  <repro.validation.ExperimentResult.to_json>`) attached as ``detail``,
+* ``band`` — the tolerance the bench asserts and the worst observed
+  error.
+
+Validation is hand-rolled (the toolchain carries no ``jsonschema``):
+:func:`validate_bench_payload` returns a list of human-readable
+problems, empty when the payload conforms.  CI runs
+``benchmarks/schema_check.py``, which applies it to every emitted file.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = [
+    "validate_bench_payload",
+    "validate_bench_file",
+    "validate_results_dir",
+    "payload_from_results",
+    "payload_from_experiment",
+]
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_bench_payload(data) -> list[str]:
+    """All schema violations of one bench payload (empty == valid)."""
+    if not isinstance(data, dict):
+        return ["payload is not a JSON object"]
+    problems: list[str] = []
+    if data.get("kind") != "bench":
+        problems.append(f"kind must be 'bench', got {data.get('kind')!r}")
+    if not isinstance(data.get("bench"), str) or not data.get("bench"):
+        problems.append("bench must be a non-empty string")
+    sizes = data.get("sizes")
+    if not isinstance(sizes, list) or not sizes:
+        problems.append("sizes must be a non-empty list")
+    elif not all(_is_number(s) or isinstance(s, str) for s in sizes):
+        problems.append("sizes entries must be numbers or labels")
+    series = data.get("series")
+    if not isinstance(series, list) or not series:
+        problems.append("series must be a non-empty list")
+        series = []
+    for index, entry in enumerate(series):
+        if not isinstance(entry, dict):
+            problems.append(f"series[{index}] is not an object")
+            continue
+        if "size" not in entry:
+            problems.append(f"series[{index}] lacks 'size'")
+        for key in ("predicted_ns", "measured_ns", "error"):
+            value = entry.get(key)
+            if not _is_number(value) or value < 0:
+                problems.append(
+                    f"series[{index}].{key} must be a non-negative "
+                    f"number, got {value!r}")
+    if isinstance(series, list) and isinstance(sizes, list) \
+            and series and sizes and len(series) != len(sizes):
+        problems.append(
+            f"series has {len(series)} entries for {len(sizes)} sizes")
+    band = data.get("band")
+    if not isinstance(band, dict):
+        problems.append("band must be an object")
+    else:
+        if not _is_number(band.get("tolerance")) or band["tolerance"] <= 0:
+            problems.append("band.tolerance must be a positive number")
+        max_error = band.get("max_error")
+        if max_error is not None and not _is_number(max_error):
+            problems.append("band.max_error must be a number or null")
+    return problems
+
+
+def validate_bench_file(path) -> list[str]:
+    """Schema violations of one ``BENCH_*.json`` file."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    return validate_bench_payload(data)
+
+
+def validate_results_dir(directory) -> dict[str, list[str]]:
+    """Validate every ``BENCH_*.json`` under ``directory``; returns
+    ``{file name: problems}`` for each emitted file (all values empty
+    when everything conforms)."""
+    directory = pathlib.Path(directory)
+    return {
+        path.name: validate_bench_file(path)
+        for path in sorted(directory.glob("BENCH_*.json"))
+    }
+
+
+# ----------------------------------------------------------------------
+# payload builders
+# ----------------------------------------------------------------------
+
+def payload_from_results(name: str, entries, tolerance: float,
+                         include_results: bool = True) -> dict:
+    """A bench payload from typed measured results.
+
+    ``entries`` is a list of ``(size, MeasuredResult)`` pairs
+    (:class:`repro.query.MeasuredResult`); each series point embeds the
+    full result JSON (the same serialization path queries use) unless
+    ``include_results`` is false."""
+    series = []
+    for size, measured in entries:
+        point = {
+            "size": size,
+            "predicted_ns": measured.predicted_ns,
+            "measured_ns": measured.measured_ns,
+            "error": measured.error,
+        }
+        if include_results:
+            point["result"] = measured.to_json()
+        series.append(point)
+    errors = [point["error"] for point in series]
+    return {
+        "kind": "bench",
+        "bench": name,
+        "sizes": [size for size, _ in entries],
+        "series": series,
+        "band": {"tolerance": tolerance,
+                 "max_error": max(errors) if errors else None},
+    }
+
+
+def payload_from_experiment(name: str, result, tolerance: float) -> dict:
+    """A bench payload from an
+    :class:`~repro.validation.ExperimentResult` (one series point per
+    row, timed via the rows' ``time_us`` keys; the full experiment —
+    per-level misses included — rides along as ``detail``)."""
+    series = []
+    for row in result.rows:
+        predicted = row.predicted.get("time_us", 0.0) * 1e3
+        measured = row.measured.get("time_us", 0.0) * 1e3
+        error = (abs(predicted - measured) / measured
+                 if measured > 0 else 0.0)
+        series.append({
+            "size": row.x_label,
+            "predicted_ns": predicted,
+            "measured_ns": measured,
+            "error": error,
+        })
+    errors = [point["error"] for point in series]
+    return {
+        "kind": "bench",
+        "bench": name,
+        "sizes": [row.x_label for row in result.rows],
+        "series": series,
+        "band": {"tolerance": tolerance,
+                 "max_error": max(errors) if errors else None},
+        "detail": result.to_json(),
+    }

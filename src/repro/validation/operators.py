@@ -18,7 +18,7 @@ from ..core.algorithms import (
     partitioned_hash_join_pattern,
     quick_sort_pattern,
 )
-from ..core.cost import CostEstimate, CostModel
+from ..core.cost import CostModel
 from ..core.regions import DataRegion
 from ..db.column import Column
 from ..db.context import Database
@@ -28,7 +28,6 @@ from ..db.partition import join_partitions, partition
 from ..db.sort import quick_sort
 from ..hardware.hierarchy import MemoryHierarchy
 from ..hardware.profiles import origin2000_scaled
-from ..simulator.counters import CounterSnapshot
 from .reporting import ExperimentResult, ExperimentRow
 
 __all__ = [
@@ -40,18 +39,6 @@ __all__ = [
 ]
 
 KB = 1024
-
-
-def _measured(delta: CounterSnapshot) -> dict[str, float]:
-    out = {lvl.name: float(lvl.misses) for lvl in delta.levels}
-    out["time_us"] = delta.elapsed_ns / 1e3
-    return out
-
-
-def _predicted(estimate: CostEstimate) -> dict[str, float]:
-    out = {lc.name: lc.misses.total for lc in estimate.levels}
-    out["time_us"] = estimate.memory_ns / 1e3
-    return out
 
 
 def _size_label(size: int) -> str:
@@ -87,11 +74,8 @@ def figure7a_quicksort(hierarchy: MemoryHierarchy | None = None,
             quick_sort(db, col)
         pattern = quick_sort_pattern(col.region(), stop_bytes=stop)
         estimate = model.estimate(pattern)
-        result.rows.append(ExperimentRow(
-            x_label=_size_label(size_kb * KB),
-            measured=_measured(res[0]),
-            predicted=_predicted(estimate),
-        ))
+        result.rows.append(ExperimentRow.from_comparison(
+            _size_label(size_kb * KB), res[0], estimate))
     return result
 
 
@@ -115,11 +99,8 @@ def figure7b_mergejoin(hierarchy: MemoryHierarchy | None = None,
         W = DataRegion("W", n=max(1, len(out.values)), w=OUTPUT_WIDTH)
         pattern = merge_join_pattern(left.region(), right.region(), W)
         estimate = model.estimate(pattern)
-        result.rows.append(ExperimentRow(
-            x_label=_size_label(size_kb * KB),
-            measured=_measured(res[0]),
-            predicted=_predicted(estimate),
-        ))
+        result.rows.append(ExperimentRow.from_comparison(
+            _size_label(size_kb * KB), res[0], estimate))
     return result
 
 
@@ -150,11 +131,8 @@ def figure7c_hashjoin(hierarchy: MemoryHierarchy | None = None,
         pattern = hash_join_pattern(outer.region(), inner.region(), W,
                                     H=table.region())
         estimate = model.estimate(pattern)
-        result.rows.append(ExperimentRow(
-            x_label=_size_label(size_kb * KB),
-            measured=_measured(res[0]),
-            predicted=_predicted(estimate),
-        ))
+        result.rows.append(ExperimentRow.from_comparison(
+            _size_label(size_kb * KB), res[0], estimate))
     return result
 
 
@@ -185,11 +163,8 @@ def figure7d_partition(hierarchy: MemoryHierarchy | None = None,
             parts = partition(db, col, m)
         pattern = partition_pattern(col.region(), parts.region, m)
         estimate = model.estimate(pattern)
-        result.rows.append(ExperimentRow(
-            x_label=str(m),
-            measured=_measured(res[0]),
-            predicted=_predicted(estimate),
-        ))
+        result.rows.append(ExperimentRow.from_comparison(
+            str(m), res[0], estimate))
     return result
 
 
@@ -234,9 +209,6 @@ def figure7e_partitioned_hashjoin(
         )
         estimate = model.estimate(pattern)
         table_bytes = tables[0].size if tables else 0
-        result.rows.append(ExperimentRow(
-            x_label=f"{_size_label(table_bytes)} (m={m})",
-            measured=_measured(res[0]),
-            predicted=_predicted(estimate),
-        ))
+        result.rows.append(ExperimentRow.from_comparison(
+            f"{_size_label(table_bytes)} (m={m})", res[0], estimate))
     return result

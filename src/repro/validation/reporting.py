@@ -10,6 +10,11 @@ the same structures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.cost import CostEstimate
+    from ..simulator.counters import CounterSnapshot
 
 __all__ = ["ExperimentRow", "ExperimentResult", "geometric_mean_ratio"]
 
@@ -22,6 +27,18 @@ class ExperimentRow:
     measured: dict[str, float]      # level name -> misses (plus "time_us")
     predicted: dict[str, float]
 
+    @classmethod
+    def from_comparison(cls, x_label: str, measured: "CounterSnapshot",
+                        predicted: "CostEstimate") -> "ExperimentRow":
+        """One x point from a simulator counter delta and a model
+        estimate — the per-level miss dicts (plus ``time_us``) every
+        figure experiment tabulates, derived in one place."""
+        meas = {lvl.name: float(lvl.misses) for lvl in measured.levels}
+        meas["time_us"] = measured.elapsed_ns / 1e3
+        pred = {lc.name: lc.misses.total for lc in predicted.levels}
+        pred["time_us"] = predicted.memory_ns / 1e3
+        return cls(x_label=x_label, measured=meas, predicted=pred)
+
     def ratio(self, key: str) -> float:
         """predicted / measured (inf-safe)."""
         meas = self.measured.get(key, 0.0)
@@ -29,6 +46,10 @@ class ExperimentRow:
         if meas <= 0.0:
             return float("inf") if pred > 0 else 1.0
         return pred / meas
+
+    def to_json(self) -> dict:
+        return {"x": self.x_label, "measured": dict(self.measured),
+                "predicted": dict(self.predicted)}
 
 
 @dataclass
@@ -66,6 +87,33 @@ class ExperimentResult:
                 cells.append(_fmt(row.predicted.get(key)).rjust(12))
             lines.append("  ".join(cells))
         return "\n".join(lines)
+
+    def band_errors(self, keys: "list[str] | None" = None,
+                    skip_small: float = 16.0) -> dict[str, float]:
+        """Worst predicted/measured band error per key (``inf``-safe
+        ``|log2|`` form, as :meth:`max_ratio_error`), for every level
+        key by default — the summary the bench JSON embeds."""
+        out: dict[str, float] = {}
+        for key in (keys if keys is not None else self.level_keys):
+            out[key] = self.max_ratio_error(key, skip_small=skip_small)
+        return out
+
+    def to_json(self) -> dict:
+        """The experiment as a JSON-serializable dict (the same
+        serialization path query results use; see
+        ``BENCH_*.json`` under ``benchmarks/results/``)."""
+        return {
+            "kind": "experiment",
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_name": self.x_name,
+            "rows": [row.to_json() for row in self.rows],
+            # strict JSON has no Infinity: degenerate bands become null
+            "band_errors": {
+                key: (None if error == float("inf") else error)
+                for key, error in self.band_errors().items()
+            },
+        }
 
     def max_ratio_error(self, key: str, skip_small: float = 16.0) -> float:
         """Worst |log2(pred/meas)| over rows where the measurement is

@@ -242,7 +242,7 @@ class TestDifferentialPlanSweep:
     def assert_plan_agrees(self, session, hierarchy, query):
         plan = session.compile(query).plan
         estimate = plan.estimate(session.model, cpu_ns=0.0)
-        _, snapshot = session.execute_measured(query, restore=True)
+        snapshot = session.execute_measured(query, restore=True).counters
         for level in hierarchy.levels:  # data caches + pool (TLB below)
             predicted = estimate.misses(level.name)
             measured = snapshot.misses(level.name)
@@ -282,7 +282,7 @@ class TestDifferentialPlanSweep:
                       "aggregate(join(t0, t1), groups=1024)"):
             plan = session.compile(query).plan
             estimate = plan.estimate(session.model, cpu_ns=0.0)
-            _, snapshot = session.execute_measured(query, restore=True)
+            snapshot = session.execute_measured(query, restore=True).counters
             predicted = estimate.misses("BufferPool")
             measured = snapshot.misses("BufferPool")
             assert predicted == pytest.approx(measured, rel=0.25, abs=4), (

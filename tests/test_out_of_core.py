@@ -374,7 +374,8 @@ class TestBudgetAwarePlanning:
         s = Session(hierarchy=disk, memory_budget=1536)
         s.create_table("orders", random_permutation(1024, seed=1))
         s.create_table("customers", random_permutation(1024, seed=2))
-        text = s.explain("aggregate(join(orders, customers), groups=1024)")
+        text = s.explain_query(
+            "aggregate(join(orders, customers), groups=1024)").to_text()
         assert "[spill]" in text
         assert "BufferPool" in text
         for level in disk.all_levels:  # one cost row per level, pool incl.
@@ -446,12 +447,13 @@ class TestOutOfCoreAcceptance:
         #    the decision is visible in explain
         spillers = [n for n in plan.root.walk() if n.spills]
         assert spillers, "expected at least one spilling operator"
-        assert "[spill]" in session.explain(self.QUERY)
+        assert "[spill]" in session.explain_query(self.QUERY).to_text()
 
         # 2. executes correctly against the engine's reference result:
         #    both tables are permutations of 0..1023, so every key
         #    joins exactly once and every group counts 1
-        out, snapshot = session.execute_measured(self.QUERY, restore=True)
+        measured = session.execute_measured(self.QUERY, restore=True)
+        out, snapshot = measured.column, measured.counters
         counts = {key: count for key, count in out.values}
         assert counts == {key: 1 for key in range(1024)}
 
@@ -477,7 +479,7 @@ class TestOutOfCoreAcceptance:
         plan = session.compile(self.QUERY).plan
         trace = record_trace(session.db, plan)
         replayed = MemorySystem(disk).replay(trace)
-        _, direct = session.execute_measured(self.QUERY, restore=True)
+        direct = session.execute_measured(self.QUERY, restore=True).counters
         assert replayed.misses("BufferPool") == pytest.approx(
             direct.misses("BufferPool"), rel=0.05)
         assert replayed.elapsed_ns == pytest.approx(

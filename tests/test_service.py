@@ -96,11 +96,14 @@ class TestSessionHooks:
     def test_explain_marks_cache_provenance(self):
         session = Session()
         WorkloadGenerator(session=session, seed=5, scale=256)
-        first = session.explain("join(orders, customers)")
-        assert first.rstrip().endswith("plan cache: miss")
-        second = session.explain("join(orders, customers)")
-        assert second.rstrip().endswith("plan cache: hit")
-        assert second.splitlines()[:-1] == first.splitlines()[:-1]
+        first = session.explain_query("join(orders, customers)")
+        assert first.cache_hit is False
+        assert first.to_text().rstrip().endswith("plan cache: miss")
+        second = session.explain_query("join(orders, customers)")
+        assert second.cache_hit is True
+        assert second.to_text().rstrip().endswith("plan cache: hit")
+        assert (second.to_text().splitlines()[:-1]
+                == first.to_text().splitlines()[:-1])
 
     def test_sibling_profile_switch_is_seen(self):
         """When one session switches the *shared* engine's profile,
