@@ -8,6 +8,15 @@ budget, keeping the I/O near-sequential.  This bench sweeps the table
 size across the crossover and checks that the cost model and the
 trace-driven simulator agree on the winner on both sides — the
 out-of-core analogue of the paper's Figure 7e cache crossover.
+
+The accuracy band is asserted over the *spilling* sizes (``m > 1``)
+only.  The smallest sweep point stays in budget by design — there
+``m == 1`` and the grace join degenerates to the plain in-memory hash
+join, which is asserted exactly (identical measurement); including
+that degenerate point in the band series once flagged a spurious 0.58
+"spilling" error that was really the in-memory join model's fixed-cost
+terms overshooting at 64 rows, a sweep-sizing artifact rather than a
+model gap (every genuinely spilling size sits within 0.17).
 """
 
 from repro.core import CostModel
@@ -74,10 +83,13 @@ def test_spilling_crossover(benchmark, save_result, save_json, quick):
     rows, measures = benchmark.pedantic(run_crossover, args=(sizes,),
                                         rounds=1, iterations=1)
     save_result("ext_spilling", render(rows))
-    # machine-readable series for the chosen (grace) side — the results
-    # embed the full typed MeasuredResult JSON, explanation included
-    save_json("ext_spilling", payload_from_results(
-        "ext_spilling", list(zip(sizes, measures)), tolerance=0.35))
+    # machine-readable series for the grace side, banded over the sizes
+    # that actually spill (m > 1; see the module docstring) — the
+    # results embed the full typed MeasuredResult JSON
+    spilling = [(n, measure) for (n, measure), row
+                in zip(zip(sizes, measures), rows) if row["m"] > 1]
+    payload = payload_from_results("ext_spilling", spilling, tolerance=0.35)
+    save_json("ext_spilling", payload)
 
     small, large = rows[0], rows[-1]
     # in-budget: grace degenerates to the plain join (no penalty)
@@ -86,6 +98,5 @@ def test_spilling_crossover(benchmark, save_result, save_json, quick):
     # far out of budget: spilling wins big, in model and measurement
     assert large["grace_meas_us"] < 0.5 * large["plain_meas_us"]
     assert large["grace_pred_us"] < 0.5 * large["plain_pred_us"]
-    # and the model stays inside the band for the *chosen* (grace) side
-    assert abs(large["grace_pred_us"] - large["grace_meas_us"]) <= \
-        0.35 * large["grace_meas_us"]
+    # and the model stays inside the band across every spilling size
+    assert payload["band"]["max_error"] <= 0.35

@@ -1,0 +1,83 @@
+"""Vectorized batch execution: same counters, faster wall clock.
+
+The vectorized engine stores column values in contiguous buffers
+(`IntVector`), runs chunked operator kernels, and hands the
+trace-driven simulator whole access *ranges*
+(`MemorySystem.access_range`) instead of one `access()` call per item.
+The contract is exact equivalence — identical result columns,
+identical simulated counters and time, identical plans and explains —
+so everything the cost model predicts is unchanged; only the host-side
+wall clock drops.  The speedup is asymmetric in exactly the way the
+paper's pattern vocabulary suggests: sequential traversals coalesce
+into ranges (a narrow scan exceeds 10x), while random hash probes are
+dependent accesses that cannot coalesce (~2x from call fusion alone).
+
+Run:  PYTHONPATH=src python examples/vectorized.py
+"""
+
+import time
+
+from repro import Session
+from repro.db import Database, random_permutation, scan
+from repro.hardware import origin2000_scaled
+
+N = 4096
+QUERY = f"aggregate(join(orders, customers), groups={N})"
+
+
+def make_session(mode: str) -> Session:
+    session = Session(origin2000_scaled(), execution=mode)
+    session.create_table("orders", random_permutation(N, seed=1))
+    session.create_table("customers", random_permutation(N, seed=2))
+    return session
+
+
+def main() -> None:
+    # -- a raw kernel: sequential scan of a narrow column ---------------
+    walls = {}
+    for mode in ("scalar", "vectorized"):
+        walls[mode] = float("inf")
+        for _ in range(3):  # best-of-3: keep import/JIT warm-up out
+            db = Database(origin2000_scaled())
+            col = db.create_column("A", random_permutation(16384, seed=1),
+                                   width=4)
+            with db.execution_scope(mode):
+                start = time.perf_counter()
+                checksum = scan(db, col)
+                walls[mode] = min(walls[mode],
+                                  time.perf_counter() - start)
+        print(f"scan 16384 x 4 B [{mode:>10}]: "
+              f"checksum {checksum:#010x}  "
+              f"simulated {db.mem.elapsed_ns / 1e3:8.1f} us  "
+              f"wall {walls[mode] * 1e3:6.2f} ms")
+    print(f"  -> identical simulated time, "
+          f"{walls['scalar'] / walls['vectorized']:.1f}x wall speedup\n")
+
+    # -- a whole query through the session front door -------------------
+    # execution mode is planner configuration: it rides in every
+    # plan-cache key, so scalar and vectorized sessions never share a
+    # compiled plan entry, yet choose byte-identical plans.
+    results = {}
+    for mode in ("scalar", "vectorized"):
+        session = make_session(mode)
+        start = time.perf_counter()
+        measured = session.execute_measured(QUERY, restore=True)
+        wall = time.perf_counter() - start
+        results[mode] = measured
+        print(f"{QUERY[:42]} [{mode:>10}]: "
+              f"simulated {measured.measured_ns / 1e3:8.1f} us  "
+              f"wall {wall * 1e3:7.2f} ms")
+
+    scalar, vector = results["scalar"], results["vectorized"]
+    assert list(scalar.column.values) == list(vector.column.values)
+    assert repr(scalar.counters) == repr(vector.counters)
+    assert scalar.explanation.to_text() == vector.explanation.to_text()
+    print("  -> result columns, counters, and explains are identical")
+
+    # the default is vectorized; Session(execution="scalar") opts out
+    assert make_session("vectorized").config.execution == \
+        Session(origin2000_scaled()).config.execution
+
+
+if __name__ == "__main__":
+    main()

@@ -30,7 +30,7 @@ from .hardware import (
 )
 from .simulator import MemorySystem
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def __getattr__(name):

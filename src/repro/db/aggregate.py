@@ -30,6 +30,10 @@ def hash_aggregate(db: Database, col: Column, groups_hint: int | None = None,
     extracts the integer grouping key from a stored value (e.g. the
     outer oid of a join-result pair); identity by default.
     """
+    if db.execution != "scalar":
+        from .vectorized import hash_aggregate_v
+        return hash_aggregate_v(db, col, groups_hint=groups_hint,
+                                output_name=output_name, key_of=key_of)
     mem = db.mem
     extract = key_of or (lambda value: value)
     hint = groups_hint or max(1, col.n)
@@ -72,6 +76,9 @@ def hash_aggregate(db: Database, col: Column, groups_hint: int | None = None,
 def sort_aggregate(db: Database, col: Column,
                    output_name: str = "agg") -> Column:
     """Group-count by sorting in place, then one sequential pass."""
+    if db.execution != "scalar":
+        from .vectorized import sort_aggregate_v
+        return sort_aggregate_v(db, col, output_name=output_name)
     mem = db.mem
     quick_sort(db, col)
     out = db.allocate_column(output_name, n=max(1, col.n), width=ENTRY_WIDTH,
@@ -100,6 +107,9 @@ def hash_distinct(db: Database, col: Column,
                   output_name: str = "dist") -> Column:
     """Duplicate elimination via hashing: one random table hit per item,
     sequential output of first occurrences."""
+    if db.execution != "scalar":
+        from .vectorized import hash_distinct_v
+        return hash_distinct_v(db, col, output_name=output_name)
     mem = db.mem
     table = SimHashTable(db, n=max(1, col.n), name=f"D({col.name})")
     out = db.allocate_column(output_name, n=max(1, col.n), width=col.width)
@@ -117,6 +127,9 @@ def hash_distinct(db: Database, col: Column,
 def sort_distinct(db: Database, col: Column,
                   output_name: str = "dist") -> Column:
     """Duplicate elimination by sorting in place, then one pass."""
+    if db.execution != "scalar":
+        from .vectorized import sort_distinct_v
+        return sort_distinct_v(db, col, output_name=output_name)
     mem = db.mem
     quick_sort(db, col)
     out = db.allocate_column(output_name, n=max(1, col.n), width=col.width)

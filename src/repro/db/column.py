@@ -7,6 +7,15 @@ is reported to the :class:`~repro.simulator.MemorySystem` before the
 Python-level value is touched, so the simulator observes the operator's
 true access trace.
 
+Since the vectorized execution engine, integer columns are *really*
+contiguous: values live in an :class:`IntVector` — a 64-bit
+:class:`array.array` subclass — so chunked kernels iterate machine
+integers in one flat buffer instead of a list of boxed objects, and the
+optional numpy fast path (:func:`as_numpy`, gated by the
+``REPRO_NUMPY`` environment flag) can view the same bytes zero-copy.
+Columns holding non-integer values (the ``(outer, inner)`` pair outputs
+of joins and aggregates) transparently fall back to a plain list.
+
 A column maps 1:1 onto a cost-model :class:`~repro.core.DataRegion`
 (length = cardinality, width = item size), which is how measured and
 predicted costs are connected.
@@ -14,12 +23,63 @@ predicted costs are connected.
 
 from __future__ import annotations
 
+import os
+from array import array
 from typing import Iterable, Sequence
 
 from ..core.regions import DataRegion
 from ..simulator.memory import MemorySystem
 
-__all__ = ["Column", "Table"]
+__all__ = ["Column", "IntVector", "Table", "as_numpy"]
+
+
+class IntVector(array):
+    """A contiguous vector of signed 64-bit integers.
+
+    The storage type of integer columns: one flat C buffer (8 bytes per
+    item, the default column width) instead of a list of boxed Python
+    ints.  Compares equal to lists and tuples holding the same values,
+    so the column API is unchanged for consumers.
+    """
+
+    def __new__(cls, values: Iterable = ()) -> "IntVector":
+        return super().__new__(cls, "q", values)
+
+    def __eq__(self, other):
+        if isinstance(other, array):
+            return array.__eq__(self, other)
+        if isinstance(other, (list, tuple)):
+            return self.tolist() == list(other)
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    # Mutable sequence with value-based equality.
+    __hash__ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IntVector({self.tolist()!r})"
+
+
+def as_numpy(vector):
+    """A zero-copy ``int64`` numpy view of an :class:`IntVector`.
+
+    Returns ``None`` unless the ``REPRO_NUMPY`` environment flag is set
+    *and* numpy is importable *and* ``vector`` is contiguous integer
+    storage — the library itself has no runtime dependencies, so numpy
+    only ever accelerates, never gates, execution.
+    """
+    if not os.environ.get("REPRO_NUMPY"):
+        return None
+    if not isinstance(vector, array) or vector.typecode != "q" or not len(vector):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is optional
+        return None
+    return numpy.frombuffer(vector, dtype=numpy.int64)
 
 
 class Column:
@@ -34,13 +94,15 @@ class Column:
     address:
         Simulated start address (line/page alignment matters!).
     values:
-        Backing Python values; the list is owned by the column.
+        Backing Python values; the column owns them.  Integer values
+        are stored in a contiguous :class:`IntVector`; anything else
+        (join-result pairs, ...) keeps a plain list.
     """
 
-    __slots__ = ("name", "width", "address", "values")
+    __slots__ = ("name", "width", "address", "_values")
 
     def __init__(self, name: str, width: int, address: int,
-                 values: list) -> None:
+                 values) -> None:
         if width < 1:
             raise ValueError("width must be positive")
         if address < 0:
@@ -52,8 +114,25 @@ class Column:
 
     # ------------------------------------------------------------------
     @property
+    def values(self):
+        """The backing storage (:class:`IntVector` for integer columns,
+        a list otherwise)."""
+        return self._values
+
+    @values.setter
+    def values(self, new_values) -> None:
+        if type(new_values) is IntVector:
+            self._values = new_values
+            return
+        try:
+            self._values = IntVector(new_values)
+        except (TypeError, ValueError, OverflowError):
+            # Non-integer payloads (pairs) or out-of-64-bit values.
+            self._values = list(new_values)
+
+    @property
     def n(self) -> int:
-        return len(self.values)
+        return len(self._values)
 
     @property
     def size(self) -> int:
@@ -76,13 +155,20 @@ class Column:
     def read(self, mem: MemorySystem, index: int, nbytes: int | None = None):
         """Read item ``index`` (touching ``nbytes`` of it, default all)."""
         mem.access(self.item_address(index), nbytes or self.width)
-        return self.values[index]
+        return self._values[index]
 
     def write(self, mem: MemorySystem, index: int, value,
               nbytes: int | None = None) -> None:
         """Write item ``index``."""
         mem.access(self.item_address(index), nbytes or self.width, write=True)
-        self.values[index] = value
+        try:
+            self._values[index] = value
+        except (TypeError, OverflowError):
+            # A non-integer value written into contiguous integer
+            # storage (e.g. partitioning pair-valued intermediates):
+            # demote the backing to a plain list and retry.
+            self._values = list(self._values)
+            self._values[index] = value
 
     def swap(self, mem: MemorySystem, i: int, j: int) -> None:
         """Swap two items (one read + one write per side)."""
@@ -91,12 +177,12 @@ class Column:
         mem.access(self.item_address(j), width)
         mem.access(self.item_address(i), width, write=True)
         mem.access(self.item_address(j), width, write=True)
-        values = self.values
+        values = self._values
         values[i], values[j] = values[j], values[i]
 
     def peek(self, index: int):
         """Read a value *without* simulating an access (test/debug only)."""
-        return self.values[index]
+        return self._values[index]
 
     def __len__(self) -> int:
         return self.n

@@ -36,6 +36,13 @@ class Database:
         # :meth:`operator_measurement` block); plan nodes report their
         # inclusive counter deltas here.
         self._operator_probe: list | None = None
+        #: execution mode for the db-layer operators: ``"scalar"``
+        #: (item-at-a-time, the historical behaviour and the default for
+        #: direct db-level calls) or ``"vectorized"`` (chunked kernels
+        #: with range-coalesced simulator reporting — identical counters
+        #: and results, much faster wall-clock).  The query layer scopes
+        #: this per plan execution via :meth:`execution_scope`.
+        self.execution = "scalar"
 
     # ------------------------------------------------------------------
     def register(self, column: Column, name: str | None = None) -> Column:
@@ -110,6 +117,27 @@ class Database:
     def reset(self) -> None:
         """Cold caches and zeroed counters (address space is kept)."""
         self.mem.reset()
+
+    @contextmanager
+    def execution_scope(self, mode: str) -> Iterator[None]:
+        """Run the block under the given execution mode::
+
+            with db.execution_scope("vectorized"):
+                quick_sort(db, column)
+
+        Restores the previous mode on exit (scopes nest).  Counters and
+        results are identical across modes by construction; only the
+        Python wall-clock differs.
+        """
+        if mode not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"execution mode must be 'scalar' or 'vectorized', got {mode!r}")
+        previous = self.execution
+        self.execution = mode
+        try:
+            yield
+        finally:
+            self.execution = previous
 
     @contextmanager
     def operator_measurement(self) -> Iterator[list]:

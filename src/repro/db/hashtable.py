@@ -114,6 +114,10 @@ class SimHashTable:
               name: str = "H") -> "SimHashTable":
         """Build a table over a column: sequential read of the input,
         random writes into ``H`` — the ``build(V,H)`` pattern."""
+        if db.execution != "scalar":
+            from .vectorized import build_table_v
+            return build_table_v(db, col, max_load=max_load, name=name,
+                                 cls=cls)
         table = cls(db, n=max(1, col.n), max_load=max_load, name=name)
         mem = db.mem
         for i in range(col.n):

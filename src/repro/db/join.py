@@ -46,6 +46,10 @@ def merge_join(db: Database, outer: Column, inner: Column,
     Handles duplicate keys on both sides (block-nested re-scan of the
     matching inner run, which stays cache-resident).
     """
+    if db.execution != "scalar":
+        from .vectorized import merge_join_v
+        return merge_join_v(db, outer, inner, output_name=output_name,
+                            output_capacity=output_capacity)
     mem = db.mem
     capacity = output_capacity or max(outer.n, inner.n)
     out = _output(db, output_name, capacity)
@@ -77,6 +81,10 @@ def nested_loop_join(db: Database, outer: Column, inner: Column,
                      output_name: str = "W",
                      output_capacity: int | None = None) -> Column:
     """Join by scanning the whole inner input once per outer item."""
+    if db.execution != "scalar":
+        from .vectorized import nested_loop_join_v
+        return nested_loop_join_v(db, outer, inner, output_name=output_name,
+                                  output_capacity=output_capacity)
     mem = db.mem
     capacity = output_capacity or max(outer.n, inner.n)
     out = _output(db, output_name, capacity)
@@ -101,6 +109,11 @@ def hash_join(db: Database, outer: Column, inner: Column,
     Returns the output column *and* the hash table (whose region the
     experiments need for model evaluation).
     """
+    if db.execution != "scalar":
+        from .vectorized import hash_join_v
+        return hash_join_v(db, outer, inner, output_name=output_name,
+                           output_capacity=output_capacity,
+                           max_load=max_load)
     table = SimHashTable.build(db, inner, max_load=max_load,
                                name=f"H({inner.name})")
     out = probe_join(db, outer, table, output_name=output_name,
@@ -112,6 +125,10 @@ def probe_join(db: Database, outer: Column, table: SimHashTable,
                output_name: str = "W",
                output_capacity: int | None = None) -> Column:
     """The probe phase of a hash join, reusable for pre-built tables."""
+    if db.execution != "scalar":
+        from .vectorized import probe_join_v
+        return probe_join_v(db, outer, table, output_name=output_name,
+                            output_capacity=output_capacity)
     mem = db.mem
     capacity = output_capacity or max(outer.n, table.entries)
     out = _output(db, output_name, capacity)

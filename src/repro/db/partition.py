@@ -65,6 +65,10 @@ def partition(db: Database, col: Column, m: int,
     ``key_func(value, m)`` overrides the cluster function (multi-pass
     radix clustering feeds different hash digits to each pass).
     """
+    if db.execution != "scalar":
+        from .vectorized import partition_v
+        return partition_v(db, col, m, output_name=output_name,
+                           slack_sigmas=slack_sigmas, key_func=key_func)
     if m < 1:
         raise ValueError("m must be positive")
     if m > col.n:

@@ -19,6 +19,9 @@ __all__ = ["scan", "select", "project"]
 def scan(db: Database, col: Column, used_bytes: int | None = None) -> int:
     """Sequential sweep over a column; returns a checksum so the work is
     observable.  Pattern: ``s_trav+(U[, u])``."""
+    if db.execution != "scalar":
+        from .vectorized import scan_v
+        return scan_v(db, col, used_bytes)
     mem = db.mem
     u = used_bytes or col.width
     if u > col.width:
@@ -34,6 +37,9 @@ def select(db: Database, col: Column, predicate: Callable[[int], bool],
            output_name: str = "sel") -> Column:
     """Filter a column; sequential input and output cursors.
     Pattern: ``s_trav+(U) ⊙ s_trav+(W)``."""
+    if db.execution != "scalar":
+        from .vectorized import select_v
+        return select_v(db, col, predicate, output_name=output_name)
     mem = db.mem
     out = db.allocate_column(output_name, n=max(1, col.n), width=col.width)
     count = 0
@@ -51,6 +57,10 @@ def project(db: Database, col: Column, used_bytes: int,
             output_name: str = "prj") -> Column:
     """Copy ``used_bytes`` of every item to a narrower output column.
     Pattern: ``s_trav+(U, u) ⊙ s_trav+(W)``."""
+    if db.execution != "scalar":
+        from .vectorized import project_v
+        return project_v(db, col, used_bytes, output_width=output_width,
+                         output_name=output_name)
     if not 1 <= used_bytes <= col.width:
         raise ValueError("used_bytes must be within the item width")
     mem = db.mem

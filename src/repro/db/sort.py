@@ -23,6 +23,9 @@ INSERTION_THRESHOLD = 8
 
 def quick_sort(db: Database, col: Column) -> None:
     """Sort a column in place (ascending)."""
+    if db.execution != "scalar":
+        from .vectorized import quick_sort_v
+        return quick_sort_v(db, col)
     mem = db.mem
     values = col.values
     width = col.width

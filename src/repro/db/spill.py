@@ -58,6 +58,10 @@ def external_merge_sort(db: Database, col: Column, memory_budget: int,
     When the column fits the budget this *is* an in-place quick sort
     and ``col`` itself is returned.
     """
+    if db.execution != "scalar":
+        from .vectorized import external_merge_sort_v
+        return external_merge_sort_v(db, col, memory_budget,
+                                     output_name=output_name)
     region = col.region()
     r = spill_run_count(region, memory_budget)
     if r <= 1 or col.n <= 1:
@@ -147,6 +151,10 @@ def grace_hash_join(db: Database, outer: Column, inner: Column,
     ``(output column, None)`` pair is returned; otherwise a
     :class:`GraceJoinResult`.
     """
+    if db.execution != "scalar":
+        from .vectorized import grace_hash_join_v
+        return grace_hash_join_v(db, outer, inner, memory_budget,
+                                 output_name=output_name, max_load=max_load)
     table_bytes = hash_table_region(inner.region(), ENTRY_WIDTH,
                                     max_load=max_load).size
     m = spill_partition_count(table_bytes, memory_budget)
@@ -194,6 +202,12 @@ def spilling_hash_aggregate(db: Database, col: Column, memory_budget: int,
     group count (in partition-then-table order rather than plain
     :func:`~repro.db.hash_aggregate`'s table order).
     """
+    if db.execution != "scalar":
+        from .vectorized import spilling_hash_aggregate_v
+        return spilling_hash_aggregate_v(db, col, memory_budget,
+                                         groups_hint=groups_hint,
+                                         output_name=output_name,
+                                         key_of=key_of)
     hint = groups_hint or max(1, col.n)
     table_bytes = hash_table_region(
         DataRegion("G", n=hint, w=ENTRY_WIDTH), ENTRY_WIDTH,

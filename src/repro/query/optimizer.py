@@ -97,6 +97,15 @@ class PlannerConfig:
     #: instead.  Part of this frozen config's ``repr`` and therefore of
     #: every plan-cache key: cached plans never leak across budgets.
     memory_budget: int | None = None
+    #: Execution mode plans run under: ``"vectorized"`` (chunked
+    #: kernels over contiguous columns with range-coalesced simulator
+    #: reporting, the default) or ``"scalar"`` (the historical
+    #: item-at-a-time interpreter).  Both produce identical result
+    #: columns and identical simulator counters — the mode only changes
+    #: real wall-clock — but it is still part of the frozen config's
+    #: ``repr`` and therefore of every plan-cache key, like every other
+    #: planner knob.
+    execution: str = "vectorized"
 
 
 def plan_signature(node: PlanNode) -> str:

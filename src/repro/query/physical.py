@@ -419,11 +419,16 @@ class ProjectNode(PlanNode):
 
     def _run(self, db: Database) -> Column:
         source = self.child.execute(db)
-        mem = db.mem
         u = min(self.width, source.width)
+        pairs = self.child.produces_pairs
+        if db.execution != "scalar":
+            from ..db.vectorized import project_node_v
+            return project_node_v(db, source, self.output_region().name,
+                                  self.width, u,
+                                  self.child.recover_key if pairs else None)
+        mem = db.mem
         out = db.allocate_column(self.output_region().name,
                                  n=max(1, source.n), width=self.width)
-        pairs = self.child.produces_pairs
         for row in range(source.n):
             mem.access(source.item_address(row), u)
             value = source.values[row]

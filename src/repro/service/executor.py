@@ -42,27 +42,54 @@ from .scheduler import SchedulePolicy, Task
 from .workload import WorkloadQuery
 
 __all__ = ["TraceRecorder", "record_trace", "replay_interleaved",
-           "BatchReplay", "ServiceExecutor"]
+           "trace_length", "BatchReplay", "ServiceExecutor"]
 
 
 class TraceRecorder:
     """A stand-in for :class:`~repro.simulator.MemorySystem` that
     records the access trace instead of simulating it (operators only
-    ever call :meth:`access`/:meth:`read`/:meth:`write`)."""
+    ever call :meth:`access`/:meth:`read`/:meth:`write` — or, since the
+    vectorized engine, :meth:`access_range` and :meth:`batch`).
+
+    Trace entries are either a plain ``(addr, nbytes)`` access or a
+    coalesced ``("range", addr, nbytes, stride, count)`` run standing
+    for ``count`` accesses; replay expands ranges access-for-access, so
+    a trace recorded under vectorized execution replays to the same
+    counters as its scalar recording."""
 
     __slots__ = ("trace",)
 
     def __init__(self) -> None:
-        self.trace: list[tuple[int, int]] = []
+        self.trace: list[tuple] = []
 
     def access(self, addr: int, nbytes: int = 1, write: bool = False) -> None:
         self.trace.append((addr, nbytes))
+
+    def access_range(self, addr: int, nbytes: int, stride: int | None = None,
+                     count: int = 1, write: bool = False) -> None:
+        if count > 0:
+            self.trace.append(("range", addr, nbytes,
+                               nbytes if stride is None else stride, count))
+
+    def batch(self):
+        trace = self.trace
+
+        def fused(addr: int, nbytes: int = 8, write: bool = False) -> None:
+            trace.append((addr, nbytes))
+
+        return fused
 
     def read(self, addr: int, nbytes: int = 1) -> None:
         self.access(addr, nbytes)
 
     def write(self, addr: int, nbytes: int = 1) -> None:
         self.access(addr, nbytes, write=True)
+
+
+def trace_length(trace: Sequence[tuple]) -> int:
+    """The number of simulated accesses a trace stands for (coalesced
+    range entries count every item in the run)."""
+    return sum(entry[4] if entry[0] == "range" else 1 for entry in trace)
 
 
 @contextmanager
@@ -78,7 +105,7 @@ def _restored_columns(db: Database):
             column.values = values
 
 
-def record_trace(db: Database, plan: QueryPlan) -> list[tuple[int, int]]:
+def record_trace(db: Database, plan: QueryPlan) -> list[tuple]:
     """Execute ``plan`` against ``db`` with a recording memory system
     and return its access trace.  Base columns are restored afterwards,
     so every batch member records against the same base state."""
@@ -118,7 +145,7 @@ DEFAULT_QUANTUM = 64
 
 
 def replay_interleaved(hierarchy: MemoryHierarchy,
-                       traces: Sequence[Sequence[tuple[int, int]]],
+                       traces: Sequence[Sequence[tuple]],
                        quantum: int = DEFAULT_QUANTUM) -> BatchReplay:
     """Replay ``traces`` round-robin (``quantum`` accesses per active
     trace per turn) through one cold
@@ -136,20 +163,40 @@ def replay_interleaved(hierarchy: MemoryHierarchy,
     n = len(traces)
     memory = [0.0] * n
     finish = [0.0] * n
-    positions = [0] * n
-    active = [i for i in range(n) if len(traces[i]) > 0]
+    # Per-trace cursor: (entry index, accesses already replayed out of
+    # the current entry).  A coalesced range entry stands for `count`
+    # accesses, and a quantum boundary may split it mid-run — the
+    # remainder replays as access_range(addr + done * stride, ...),
+    # which is access-for-access identical to finishing the loop.
+    positions: list[tuple[int, int]] = [(0, 0)] * n
+    active = [i for i in range(n) if trace_length(traces[i]) > 0]
     while active:
         still_active = []
         for i in active:
             trace = traces[i]
-            end = min(positions[i] + quantum, len(trace))
+            entry_index, done = positions[i]
+            budget = quantum
             before = mem.elapsed_ns
-            for j in range(positions[i], end):
-                addr, nbytes = trace[j]
-                mem.access(addr, nbytes)
+            while budget > 0 and entry_index < len(trace):
+                entry = trace[entry_index]
+                if entry[0] == "range":
+                    _, addr, nbytes, stride, count = entry
+                    take = min(count - done, budget)
+                    mem.access_range(addr + done * stride, nbytes,
+                                     stride, take)
+                    budget -= take
+                    done += take
+                    if done == count:
+                        entry_index += 1
+                        done = 0
+                else:
+                    addr, nbytes = entry
+                    mem.access(addr, nbytes)
+                    budget -= 1
+                    entry_index += 1
             memory[i] += mem.elapsed_ns - before
-            positions[i] = end
-            if end < len(trace):
+            positions[i] = (entry_index, done)
+            if entry_index < len(trace):
                 still_active.append(i)
             else:
                 finish[i] = mem.elapsed_ns
@@ -236,7 +283,8 @@ class ServiceExecutor:
                 total_ns = measured.measured_ns
                 operators = (measured.operators,)
             else:
-                traces = [record_trace(db, t.plan) for t in batch]
+                with db.execution_scope(self.session.config.execution):
+                    traces = [record_trace(db, t.plan) for t in batch]
                 replay = replay_interleaved(self.session.hierarchy, traces,
                                             quantum=self.quantum)
                 memory_ns = replay.memory_ns
@@ -280,7 +328,8 @@ class ServiceExecutor:
         real = db.mem
         db.mem = MemorySystem(self.session.hierarchy)
         try:
-            with _restored_columns(db):
+            with _restored_columns(db), \
+                    db.execution_scope(self.session.config.execution):
                 return measure_plan(db, plan, self.session.model,
                                     pipeline=self.session.config.pipeline,
                                     cold=False,  # the swapped-in system

@@ -171,8 +171,10 @@ class PreparedStatement:
         (``restore=True`` puts registered columns back afterwards — see
         :class:`~repro.session.Session` on in-place execution)."""
         plan = self._revalidate().plan
-        with self.session._restoring(restore):
-            return self.session.db.execute(plan)
+        session = self.session
+        with session._restoring(restore), \
+                session.db.execution_scope(session.config.execution):
+            return session.db.execute(plan)
 
     def run(self, restore: bool = False) -> QueryResult:
         """Run the chosen plan, returning a typed
@@ -183,8 +185,9 @@ class PreparedStatement:
         explanation = planned.explanation(session.model,
                                           pipeline=session.config.pipeline,
                                           cache_hit=self._reused())
-        return execute_result(session.db, planned.plan, explanation,
-                              restoring=session._restoring(restore))
+        with session.db.execution_scope(session.config.execution):
+            return execute_result(session.db, planned.plan, explanation,
+                                  restoring=session._restoring(restore))
 
     def execute_measured(self, cold: bool = True, restore: bool = False
                          ) -> MeasuredResult:
@@ -202,7 +205,9 @@ class PreparedStatement:
         explanation = planned.explanation(
             self.session.model, pipeline=self.session.config.pipeline,
             cache_hit=self._reused())
-        with self.session._restoring(restore):
+        with self.session._restoring(restore), \
+                self.session.db.execution_scope(
+                    self.session.config.execution):
             return capture_measured(self.session.db, planned.plan,
                                     explanation, cold=cold)
 

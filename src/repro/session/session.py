@@ -83,13 +83,21 @@ class Session:
         planner config — and therefore into every plan-cache key, so
         cached plans never leak across budgets.  May not be combined
         with an explicit ``config`` that already sets a budget.
+    execution:
+        Execution mode plans run under: ``"vectorized"`` (chunked
+        kernels, the config default) or ``"scalar"`` (item-at-a-time).
+        Folded into the planner config — and therefore into every
+        plan-cache key — overriding whatever the ``config`` carries.
+        Results and simulated counters are identical across modes; only
+        real wall-clock differs.
     """
 
     def __init__(self, hierarchy: MemoryHierarchy | None = None,
                  db: Database | None = None,
                  config: PlannerConfig | None = None,
                  cache: PlanCache | None = None,
-                 memory_budget: int | None = None) -> None:
+                 memory_budget: int | None = None,
+                 execution: str | None = None) -> None:
         if db is not None and hierarchy is not None:
             raise ValueError(
                 "pass either hierarchy or db, not both (a Database "
@@ -106,6 +114,12 @@ class Session:
                     f"{config.memory_budget} vs memory_budget="
                     f"{memory_budget}")
             self.config = replace(self.config, memory_budget=memory_budget)
+        if execution is not None:
+            if execution not in ("scalar", "vectorized"):
+                raise ValueError(
+                    "execution mode must be 'scalar' or 'vectorized', "
+                    f"got {execution!r}")
+            self.config = replace(self.config, execution=execution)
         # `cache or ...` would drop a shared cache that is still empty
         # (PlanCache defines __len__, so an empty cache is falsy)
         self.plan_cache = cache if cache is not None else PlanCache()
@@ -299,8 +313,10 @@ class Session:
         The bare-column fast path; :meth:`run` returns the same
         execution as a typed :class:`~repro.query.QueryResult` with
         plan provenance and timing attached."""
-        with self._restoring(restore):
-            return self.db.execute(self.compile(q).plan)
+        planned = self.compile(q)
+        with self._restoring(restore), \
+                self.db.execution_scope(self.config.execution):
+            return self.db.execute(planned.plan)
 
     def run(self, q, restore: bool = False) -> QueryResult:
         """Compile (cached) and run the chosen plan, returning a typed
@@ -312,8 +328,9 @@ class Session:
         explanation = planned.explanation(self.model,
                                           pipeline=self.config.pipeline,
                                           cache_hit=self.last_compile_cached)
-        return execute_result(self.db, planned.plan, explanation,
-                              restoring=self._restoring(restore))
+        with self.db.execution_scope(self.config.execution):
+            return execute_result(self.db, planned.plan, explanation,
+                                  restoring=self._restoring(restore))
 
     def execute_measured(self, q, cold: bool = True, restore: bool = False
                          ) -> MeasuredResult:
@@ -336,7 +353,8 @@ class Session:
         explanation = planned.explanation(self.model,
                                           pipeline=self.config.pipeline,
                                           cache_hit=cache_hit)
-        with self._restoring(restore):
+        with self._restoring(restore), \
+                self.db.execution_scope(self.config.execution):
             return capture_measured(self.db, planned.plan, explanation,
                                     cold=cold)
 

@@ -23,7 +23,7 @@ from typing import Iterable
 
 from ..hardware.hierarchy import MemoryHierarchy
 from .bufferpool import BufferPoolSim
-from .cache import HIT, RAND_MISS, CacheSim
+from .cache import HIT, RAND_MISS, STREAM_WINDOW, CacheSim
 from .counters import CounterSnapshot, LevelCounters
 
 __all__ = ["MemorySystem"]
@@ -40,7 +40,7 @@ class MemorySystem:
     """
 
     __slots__ = ("hierarchy", "caches", "tlbs", "elapsed_ns", "accesses",
-                 "_l1_line", "_level_chain")
+                 "_l1_line", "_level_chain", "_hit_gran")
 
     def __init__(self, hierarchy: MemoryHierarchy) -> None:
         self.hierarchy = hierarchy
@@ -58,6 +58,13 @@ class MemorySystem:
             (sim, lvl.line_size, lvl.seq_miss_latency_ns, lvl.rand_miss_latency_ns)
             for sim, lvl in zip(self.caches, hierarchy.levels)
         )
+        # Bulk-hit granule for :meth:`access_range`: an access confined
+        # to one ``_hit_gran``-aligned block touches exactly one L1 line
+        # and one page of every TLB.  Zero disables the coalesced path
+        # (exotic geometries where the minimum does not divide the rest).
+        sizes = [self._l1_line] + [tlb._line_size for tlb in self.tlbs]
+        gran = min(sizes)
+        self._hit_gran = gran if all(s % gran == 0 for s in sizes) else 0
 
     # ------------------------------------------------------------------
     def access(self, addr: int, nbytes: int = 1, write: bool = False) -> None:
@@ -74,6 +81,11 @@ class MemorySystem:
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
         self.accesses += 1
+        self._access_one(addr, nbytes, write)
+
+    def _access_one(self, addr: int, nbytes: int, write: bool) -> None:
+        """The :meth:`access` event engine, without validation or the
+        ``accesses`` count — the batch entry points loop over this."""
         elapsed = 0.0
 
         # TLB probes: one per page spanned, per TLB level.
@@ -131,6 +143,391 @@ class MemorySystem:
         self.access(addr, nbytes, write=True)
 
     # ------------------------------------------------------------------
+    def access_range(self, addr: int, nbytes: int, stride: int | None = None,
+                     count: int = 1, write: bool = False) -> None:
+        """Simulate ``count`` accesses of ``nbytes`` each, ``stride``
+        bytes apart, in one call — the range-coalesced reporting API the
+        vectorized kernels use for strided sweeps.
+
+        Byte-identical to the per-item loop ::
+
+            for i in range(count):
+                mem.access(addr + i * stride, nbytes, write)
+
+        in every counter and in ``elapsed_ns``, but much cheaper to
+        report: consecutive items that stay inside the L1-line/TLB-page
+        granule their predecessor just touched are *provably* hits on
+        the MRU entry of each set (no LRU state change, no EDO window
+        change, no latency), so the simulator batches them as counter
+        arithmetic instead of replaying each probe.  Items that cross a
+        granule boundary — where misses, evictions, and stream
+        classification can happen — go through the full event engine
+        one by one.  ``stride`` defaults to ``nbytes`` (a dense array
+        sweep); a zero stride models ``count`` repeat touches of one
+        item and a negative stride a backward walk.
+        """
+        if stride is None:
+            stride = nbytes
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        lowest = addr if stride >= 0 else addr + (count - 1) * stride
+        if lowest < 0:
+            raise ValueError("negative address")
+        access_one = self._access_one
+        gran = self._hit_gran
+        bulk = 0
+        counted = 0
+        if stride < 0 or not gran:
+            for i in range(count):
+                access_one(addr + i * stride, nbytes, write)
+        elif stride == 0:
+            access_one(addr, nbytes, write)
+            if count > 1:
+                if addr // gran == (addr + nbytes - 1) // gran:
+                    # Repeat touches of a single-granule item: the line
+                    # and page are MRU after the first access, so every
+                    # repeat is a pure hit (writes re-mark an
+                    # already-dirty pool page — idempotent).
+                    bulk = count - 1
+                else:
+                    for _ in range(count - 1):
+                        access_one(addr, nbytes, write)
+        elif (nbytes <= stride and gran == self._l1_line
+                and gran % stride == 0 and addr % stride == 0
+                and len(self.tlbs) <= 1 and count >= 8):
+            # Aligned dense sweep (every item inside one granule, one
+            # TLB): the fully inlined line-walking engine.
+            self._sweep(addr, nbytes, stride, count, write)
+            return
+        else:
+            # Anchors (first item in each granule) go through the real
+            # event engine; everything after them inside the granule is
+            # a provable MRU hit, batched below.  For long ranges the
+            # anchors themselves run through the fused single-line
+            # engine of :meth:`batch` (it counts its own accesses).
+            if count >= 16:
+                anchor_access = self.batch()
+                counted = None
+            else:
+                anchor_access = access_one
+            i = 0
+            while i < count:
+                anchor = addr + i * stride
+                anchor_access(anchor, nbytes, write)
+                i += 1
+                block_end = (anchor // gran + 1) * gran
+                if anchor + nbytes <= block_end:
+                    # Every later item fully inside the anchor's granule
+                    # hits the same (now MRU) L1 line and TLB pages.
+                    last = (block_end - nbytes - addr) // stride
+                    if last >= count:
+                        last = count - 1
+                    if last >= i:
+                        bulk += last - i + 1
+                        i = last + 1
+        if bulk:
+            self.caches[0].hits += bulk
+            for tlb in self.tlbs:
+                tlb.hits += bulk
+        # The fused anchor engine already counted the anchors.
+        self.accesses += bulk if counted is None else count
+
+    def _sweep(self, addr: int, nbytes: int, stride: int, count: int,
+               write: bool) -> None:
+        """The hot lane of :meth:`access_range`: an aligned dense sweep
+        (``nbytes <= stride``, item starts multiples of ``stride``,
+        ``stride`` divides the granule, at most one TLB).
+
+        Granule boundaries then coincide with line and page boundaries,
+        so only the first item of each granule can change any cache
+        state; it probes the L1 line and TLB page *only when they
+        differ from the previous granule's* (otherwise they are MRU —
+        a pure hit).  Everything is inlined: this loop replaces one
+        Python-level event cascade per item with one per cache line.
+        """
+        chain = self._level_chain
+        l1_sim, l1_line, l1_seq, l1_rand = chain[0]
+        outer = chain[1:]
+        l1_sets = l1_sim._sets
+        l1_nsets = l1_sim._num_sets
+        l1_ways = l1_sim._ways
+        l1_recent = l1_sim._recent_miss_lines
+        l1_pool = isinstance(l1_sim, BufferPoolSim)
+        window = STREAM_WINDOW
+        tlbs = self.tlbs
+        if tlbs:
+            tlb = tlbs[0]
+            page = tlb._line_size
+            t_sets = tlb._sets
+            t_nsets = tlb._num_sets
+            t_ways = tlb._ways
+            t_recent = tlb._recent_miss_lines
+            t_rand = tlb.level.rand_miss_latency_ns
+            lines_per_page = page // l1_line
+            to_page = 0  # groups until the next real TLB probe (0 = now)
+        else:
+            tlb = None
+        per_line = l1_line // stride
+        line = addr // l1_line - 1  # pre-decremented; the loop advances it
+        take = per_line - (addr % l1_line) // stride  # items on first line
+        # Hit counters are accumulated optimistically (`take` per group)
+        # and decremented on the rare real-probe misses, then flushed
+        # once at the end — counters are only observed between calls.
+        l1_hits = 0
+        t_hits = 0
+        i = 0
+        while i < count:
+            if take > count - i:
+                take = count - i
+            line += 1
+            l1_hits += take
+            elapsed = 0.0
+            if tlb is not None:
+                t_hits += take
+                if to_page == 0:
+                    p = line // lines_per_page
+                    to_page = lines_per_page - line % lines_per_page
+                    s = t_sets[p % t_nsets]
+                    if p in s:
+                        del s[p]
+                        s[p] = None
+                    else:
+                        t_hits -= 1
+                        if len(s) >= t_ways:
+                            del s[next(iter(s))]
+                        s[p] = None
+                        if p - 1 in t_recent:
+                            del t_recent[p - 1]
+                            t_recent[p] = None
+                            tlb.seq_misses += 1
+                        elif p + 1 in t_recent:
+                            del t_recent[p + 1]
+                            t_recent[p] = None
+                            tlb.seq_misses += 1
+                        else:
+                            if len(t_recent) >= window:
+                                del t_recent[next(iter(t_recent))]
+                            t_recent[p] = None
+                            tlb.rand_misses += 1
+                        elapsed += t_rand
+                to_page -= 1
+            s = l1_sets[line % l1_nsets]
+            if line in s:
+                del s[line]
+                s[line] = None
+                if write and l1_pool:
+                    l1_sim._note_write(line)
+            else:
+                l1_hits -= 1
+                if len(s) >= l1_ways:
+                    victim = next(iter(s))
+                    del s[victim]
+                    if l1_pool:
+                        l1_sim._note_evict(victim)
+                s[line] = None
+                if write and l1_pool:
+                    l1_sim._note_write(line)
+                if line - 1 in l1_recent:
+                    del l1_recent[line - 1]
+                    l1_recent[line] = None
+                    l1_sim.seq_misses += 1
+                    elapsed += l1_seq
+                elif line + 1 in l1_recent:
+                    del l1_recent[line + 1]
+                    l1_recent[line] = None
+                    l1_sim.seq_misses += 1
+                    elapsed += l1_seq
+                else:
+                    if len(l1_recent) >= window:
+                        del l1_recent[next(iter(l1_recent))]
+                    l1_recent[line] = None
+                    l1_sim.rand_misses += 1
+                    elapsed += l1_rand
+                prev_line = line
+                prev_size = l1_line
+                for sim, line_size, seq_lat, rand_lat in outer:
+                    prev_line //= line_size // prev_size
+                    prev_size = line_size
+                    outcome = sim.probe(prev_line, write)
+                    if outcome == HIT:
+                        break
+                    elapsed += rand_lat if outcome == RAND_MISS else seq_lat
+            if elapsed:
+                self.elapsed_ns += elapsed
+            i += take
+            take = per_line
+        l1_sim.hits += l1_hits
+        if tlb is not None:
+            tlb.hits += t_hits
+        self.accesses += count
+
+    def batch(self):
+        """Return a fused accessor ``f(addr, nbytes=8, write=False)``.
+
+        Call for call the closure is exactly :meth:`access` — same
+        counters, same ``elapsed_ns``, bit for bit — but the cascade
+        set-up (attribute lookups, level tuples, latency constants) is
+        hoisted out of the per-access path and the single-line,
+        single-page common case is inlined.  The vectorized operator
+        kernels grab one accessor per kernel invocation for their
+        data-dependent (interleaved, non-strided) accesses; strided
+        sweeps use :meth:`access_range` instead.
+
+        The closure binds the *current* level simulators: take a fresh
+        one after :meth:`~repro.db.Database.set_hierarchy` (plain
+        :meth:`reset` keeps the bound structures valid).
+        """
+        mem = self
+        access_one = self._access_one
+        chain = self._level_chain
+        l1_sim, l1_line, l1_seq, l1_rand = chain[0]
+        outer = chain[1:]
+        tlbs = self.tlbs
+        if len(tlbs) > 1 or (tlbs and (tlbs[0]._line_size < l1_line
+                                       or tlbs[0]._line_size % l1_line)):
+            # Exotic geometry (multiple TLBs, or pages smaller than an
+            # L1 line): a one-line access may span pages, so fall back
+            # to the general engine for every call.
+            def slow(addr: int, nbytes: int = 8, write: bool = False) -> None:
+                mem.access(addr, nbytes, write)
+            return slow
+
+        l1_sets = l1_sim._sets
+        l1_nsets = l1_sim._num_sets
+        l1_ways = l1_sim._ways
+        l1_recent = l1_sim._recent_miss_lines
+        l1_pool = isinstance(l1_sim, BufferPoolSim)
+        window = STREAM_WINDOW
+        if tlbs:
+            tlb = tlbs[0]
+            page = tlb._line_size
+            t_sets = tlb._sets
+            t_nsets = tlb._num_sets
+            t_ways = tlb._ways
+            t_recent = tlb._recent_miss_lines
+            t_rand = tlb.level.rand_miss_latency_ns
+        else:
+            tlb = None
+
+        last_line = -1
+        last_count = -1
+
+        def fused(addr: int, nbytes: int = 8, write: bool = False) -> None:
+            nonlocal last_line, last_count
+            if addr < 0:
+                raise ValueError("negative address")
+            if nbytes <= 0:
+                raise ValueError("nbytes must be positive")
+            line = addr // l1_line
+            n = mem.accesses
+            if addr + nbytes > (line + 1) * l1_line:
+                # Line-spanning access: full engine (cascade dedup).
+                last_line = -1
+                mem.accesses = n + 1
+                access_one(addr, nbytes, write)
+                return
+            if line == last_line and n == last_count:
+                # The immediately preceding access (verified via the
+                # global access count — any interleaved access through
+                # another path bumps it) stayed wholly inside this very
+                # line, so line and page are the MRU entries of their
+                # sets: a pure hit, no LRU/EDO state change.
+                mem.accesses = n + 1
+                last_count = n + 1
+                l1_sim.hits += 1
+                if tlb is not None:
+                    tlb.hits += 1
+                if write and l1_pool:
+                    l1_sim._note_write(line)
+                return
+            last_line = line
+            last_count = n + 1
+            mem.accesses = n + 1
+            elapsed = 0.0
+            if tlb is not None:
+                # Inlined CacheSim.probe for the one spanned page; the
+                # TLB is always a plain CacheSim, so the write hooks
+                # are no-ops and eviction needs no notification.
+                p = addr // page
+                s = t_sets[p % t_nsets]
+                if p in s:
+                    del s[p]
+                    s[p] = None
+                    tlb.hits += 1
+                else:
+                    if len(s) >= t_ways:
+                        del s[next(iter(s))]
+                    s[p] = None
+                    if p - 1 in t_recent:
+                        del t_recent[p - 1]
+                        t_recent[p] = None
+                        tlb.seq_misses += 1
+                    elif p + 1 in t_recent:
+                        del t_recent[p + 1]
+                        t_recent[p] = None
+                        tlb.seq_misses += 1
+                    else:
+                        if len(t_recent) >= window:
+                            del t_recent[next(iter(t_recent))]
+                        t_recent[p] = None
+                        tlb.rand_misses += 1
+                    # Every TLB miss pays the random (walk) latency;
+                    # the seq/rand split only classifies the counters.
+                    elapsed += t_rand
+            # Inlined CacheSim.probe for the one spanned L1 line.
+            s = l1_sets[line % l1_nsets]
+            if line in s:
+                del s[line]
+                s[line] = None
+                l1_sim.hits += 1
+                if write and l1_pool:
+                    l1_sim._note_write(line)
+            else:
+                if len(s) >= l1_ways:
+                    victim = next(iter(s))
+                    del s[victim]
+                    if l1_pool:
+                        l1_sim._note_evict(victim)
+                s[line] = None
+                if write and l1_pool:
+                    l1_sim._note_write(line)
+                if line - 1 in l1_recent:
+                    del l1_recent[line - 1]
+                    l1_recent[line] = None
+                    l1_sim.seq_misses += 1
+                    elapsed += l1_seq
+                elif line + 1 in l1_recent:
+                    del l1_recent[line + 1]
+                    l1_recent[line] = None
+                    l1_sim.seq_misses += 1
+                    elapsed += l1_seq
+                else:
+                    if len(l1_recent) >= window:
+                        del l1_recent[next(iter(l1_recent))]
+                    l1_recent[line] = None
+                    l1_sim.rand_misses += 1
+                    elapsed += l1_rand
+                # Cascade the missed line outwards, translating to each
+                # level's granularity (single line: no dedup needed).
+                prev_line = line
+                prev_size = l1_line
+                for sim, line_size, seq_lat, rand_lat in outer:
+                    prev_line //= line_size // prev_size
+                    prev_size = line_size
+                    outcome = sim.probe(prev_line, write)
+                    if outcome == HIT:
+                        break
+                    elapsed += rand_lat if outcome == RAND_MISS else seq_lat
+            if elapsed:
+                mem.elapsed_ns += elapsed
+
+        return fused
+
+    # ------------------------------------------------------------------
     @property
     def pool(self) -> BufferPoolSim | None:
         """The buffer-pool level's simulator (``None`` on pure-memory
@@ -142,16 +539,21 @@ class MemorySystem:
         """Replay a recorded access trace and return the counter delta.
 
         ``trace`` yields ``(addr, nbytes)`` or ``(addr, nbytes, write)``
-        tuples — the format :class:`repro.service.TraceRecorder`
-        produces.  Replaying a plan's trace against a
-        :func:`~repro.hardware.disk_extended` hierarchy is how the
-        out-of-core tests measure real pool misses for accesses that
-        were recorded once, profile-independently.
+        tuples, or range-coalesced ``("range", addr, nbytes, stride,
+        count, write)`` entries — the formats
+        :class:`repro.service.TraceRecorder` produces.  Replaying a
+        plan's trace against a :func:`~repro.hardware.disk_extended`
+        hierarchy is how the out-of-core tests measure real pool misses
+        for accesses that were recorded once, profile-independently.
         """
         before = self.snapshot()
         access = self.access
+        access_range = self.access_range
         for entry in trace:
-            access(*entry)
+            if entry[0] == "range":
+                access_range(*entry[1:])
+            else:
+                access(*entry)
         return self.snapshot() - before
 
     # ------------------------------------------------------------------

@@ -1,0 +1,446 @@
+"""Differential suite for the vectorized execution engine.
+
+The vectorized engine's contract is *exact equivalence*: for every
+operator and every whole plan, vectorized execution must produce the
+identical result column AND the identical simulator counter delta as
+the scalar interpreter — the chunked kernels and the range-coalesced
+reporting API only change how many Python calls carry the access
+stream, never the stream itself.  These tests pin that contract:
+
+* operator-by-operator differentials (spilling operators included) on
+  the tiny and scaled profiles;
+* the seeded template sweep through full sessions on both the in-memory
+  and disk-extended profiles;
+* golden-explain byte-identity across modes;
+* hypothesis property tests that ``access_range`` and ``batch()`` are
+  access-for-access identical to per-item ``access`` loops;
+* the service-layer trace format (coalesced range entries) replaying
+  identically to scalar traces at every quantum.
+"""
+
+import random
+
+import pytest
+
+from repro import Session
+from repro.db import (
+    Column,
+    Database,
+    GraceJoinResult,
+    IntVector,
+    Partitions,
+    SimHashTable,
+    as_numpy,
+    external_merge_sort,
+    grace_hash_join,
+    grouped_keys,
+    hash_aggregate,
+    hash_distinct,
+    hash_join,
+    merge_join,
+    nested_loop_join,
+    partition,
+    probe_join,
+    project,
+    quick_sort,
+    random_permutation,
+    scan,
+    select,
+    sort_aggregate,
+    sort_distinct,
+    spilling_hash_aggregate,
+)
+from repro.hardware import (
+    disk_extended_scaled,
+    origin2000_scaled,
+    tiny_test_machine,
+)
+from repro.query import PlannerConfig
+from repro.service.executor import (
+    TraceRecorder,
+    record_trace,
+    replay_interleaved,
+    trace_length,
+)
+from repro.simulator.memory import MemorySystem
+
+try:
+    from hypothesis import given, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    HAVE_HYPOTHESIS = False
+
+PROFILES = {"tiny": tiny_test_machine, "scaled": origin2000_scaled,
+            "disk": disk_extended_scaled}
+
+
+def seeded_values(n=400, span=200, seed=11):
+    rng = random.Random(seed)
+    return [rng.randrange(0, span) for _ in range(n)]
+
+
+def normalize(out):
+    """A mode-independent rendering of any operator result."""
+    if isinstance(out, Column):
+        return (out.name, out.width, out.address,
+                type(out.values).__name__, list(out.values))
+    if isinstance(out, Partitions):
+        return [normalize(c) for c in out.clusters]
+    if isinstance(out, GraceJoinResult):
+        return ([normalize(o) for o in out.outputs], out.partitions)
+    if isinstance(out, SimHashTable):
+        return (out.name, out.capacity, out.address, out.entries)
+    if isinstance(out, tuple):
+        return tuple(normalize(o) for o in out)
+    return out
+
+
+def run_both(hierarchy_factory, operation):
+    """Run ``operation(db)`` under both modes on fresh engines; return
+    the two (result, memory-state, error) observations."""
+    observed = {}
+    for mode in ("scalar", "vectorized"):
+        db = Database(hierarchy_factory())
+        with db.execution_scope(mode):
+            try:
+                result, error = normalize(operation(db)), None
+            except Exception as exc:  # noqa: BLE001 - parity check
+                result, error = None, (type(exc).__name__, str(exc))
+        observed[mode] = (result, error, repr(db.mem.snapshot()),
+                          db.mem.accesses, db.mem.elapsed_ns)
+    return observed["scalar"], observed["vectorized"]
+
+
+VALUES = seeded_values()
+SORTED_A = sorted(seeded_values(400, 500, seed=12))
+SORTED_B = sorted(seeded_values(200, 500, seed=13))
+
+OPERATIONS = {
+    "scan": lambda db: scan(db, db.create_column("U", VALUES)),
+    "scan_narrow": lambda db: scan(db, db.create_column("U", VALUES),
+                                   used_bytes=4),
+    "select": lambda db: select(db, db.create_column("U", VALUES),
+                                lambda v: v % 3 == 0),
+    "select_none": lambda db: select(db, db.create_column("U", VALUES),
+                                     lambda v: False),
+    "project": lambda db: project(db, db.create_column("U", VALUES), 4),
+    "quick_sort": lambda db: quick_sort(db, db.create_column("U", VALUES)),
+    "sort_dups": lambda db: quick_sort(db, db.create_column("U", [7] * 64)),
+    "merge_join": lambda db: merge_join(db, db.create_column("U", SORTED_A),
+                                        db.create_column("V", SORTED_B)),
+    "nested_loop": lambda db: nested_loop_join(
+        db, db.create_column("U", VALUES[:60]),
+        db.create_column("V", VALUES[30:90])),
+    "hash_join": lambda db: hash_join(db, db.create_column("U", VALUES),
+                                      db.create_column("V", VALUES[:200])),
+    "probe_join": lambda db: probe_join(
+        db, db.create_column("U", VALUES),
+        SimHashTable.build(db, db.create_column("V", VALUES[:150]))),
+    "hash_aggregate": lambda db: hash_aggregate(
+        db, db.create_column("U", VALUES)),
+    "hash_aggregate_key": lambda db: hash_aggregate(
+        db, db.create_column("U", VALUES), key_of=lambda v: v % 7),
+    "sort_aggregate": lambda db: sort_aggregate(
+        db, db.create_column("U", list(VALUES))),
+    "hash_distinct": lambda db: hash_distinct(
+        db, db.create_column("U", VALUES)),
+    "sort_distinct": lambda db: sort_distinct(
+        db, db.create_column("U", list(VALUES))),
+    "partition": lambda db: partition(db, db.create_column("U", VALUES), 8),
+    "partition_skew": lambda db: partition(
+        db, db.create_column("U", [1] * 64), 4),
+    "external_sort": lambda db: external_merge_sort(
+        db, db.create_column("U", VALUES), 1024),
+    "grace_join": lambda db: grace_hash_join(
+        db, db.create_column("U", VALUES),
+        db.create_column("V", VALUES[:200]), 2048),
+    "spilling_aggregate": lambda db: spilling_hash_aggregate(
+        db, db.create_column("U", VALUES), 1024),
+    "aggregate_pairs": lambda db: hash_aggregate(
+        db, hash_join(db, db.create_column("U", VALUES),
+                      db.create_column("V", VALUES[:200]))[0],
+        key_of=lambda pair: pair[0]),
+    # error-path parity: the vectorized twin must simulate the same
+    # accesses up to the same failure
+    "scan_bad_width": lambda db: scan(db, db.create_column("U", VALUES),
+                                      used_bytes=99),
+    "partition_overflow": lambda db: partition(
+        db, db.create_column("U", [3] * 64), 4, slack_sigmas=0.0),
+}
+
+
+class TestOperatorDifferential:
+    """Every db-level operator: identical results, counters, errors."""
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    @pytest.mark.parametrize("op", sorted(OPERATIONS))
+    def test_scalar_vs_vectorized(self, profile, op):
+        scalar, vectorized = run_both(PROFILES[profile], OPERATIONS[op])
+        assert scalar == vectorized
+
+
+class TestStorage:
+    """Contiguous integer columns and their demotion/fast-path rules."""
+
+    def test_integer_columns_are_contiguous(self, scaled):
+        db = Database(scaled)
+        col = db.create_column("U", [3, 1, 2])
+        assert type(col.values) is IntVector
+        assert col.values == [3, 1, 2]
+        assert [3, 1, 2] == col.values
+        assert col.values != [3, 1]
+
+    def test_pair_columns_fall_back_to_lists(self, scaled):
+        db = Database(scaled)
+        out, _ = hash_join(db, db.create_column("U", [1, 2, 3]),
+                           db.create_column("V", [2, 3, 4]))
+        assert type(out.values) is list
+
+    def test_write_demotes_on_non_integer_value(self, scaled):
+        db = Database(scaled)
+        col = db.create_column("U", [1, 2, 3])
+        col.write(db.mem, 1, (4, 5))
+        assert type(col.values) is list
+        assert col.values[1] == (4, 5)
+
+    def test_as_numpy_is_gated_by_env_flag(self, scaled, monkeypatch):
+        vec = IntVector([1, 2, 3])
+        monkeypatch.delenv("REPRO_NUMPY", raising=False)
+        assert as_numpy(vec) is None
+        monkeypatch.setenv("REPRO_NUMPY", "1")
+        view = as_numpy(vec)
+        if view is not None:  # numpy present: zero-copy, right values
+            assert list(view) == [1, 2, 3]
+        assert as_numpy([1, 2, 3]) is None
+        assert as_numpy(IntVector([])) is None
+
+    def test_execution_scope_validates_and_restores(self, scaled):
+        db = Database(scaled)
+        assert db.execution == "scalar"
+        with db.execution_scope("vectorized"):
+            assert db.execution == "vectorized"
+            with db.execution_scope("scalar"):
+                assert db.execution == "scalar"
+            assert db.execution == "vectorized"
+        assert db.execution == "scalar"
+        with pytest.raises(ValueError, match="execution mode"):
+            with db.execution_scope("simd"):
+                pass
+
+
+def make_session(hierarchy_factory, execution, memory_budget=None):
+    s = Session(hierarchy=hierarchy_factory(), execution=execution,
+                memory_budget=memory_budget)
+    s.create_table("orders", random_permutation(1024, seed=1))
+    s.create_table("customers", random_permutation(1024, seed=2))
+    s.create_table("events", grouped_keys(1024, groups=64, seed=3))
+    s.predicate("even", lambda v: v % 2 == 0)
+    return s
+
+
+TEMPLATES = [
+    "filter(orders, even, sel=0.5)",
+    "sort(orders)",
+    "join(orders, customers)",
+    "aggregate(events, groups=64)",
+    "aggregate(join(filter(orders, even, sel=0.5), customers), groups=512)",
+    "sort(events)",
+]
+
+SWEEPS = [("scaled", origin2000_scaled, None),
+          ("disk", disk_extended_scaled, 1536)]
+
+
+class TestTemplateSweepDifferential:
+    """Whole plans through full sessions: identical result columns and
+    identical counter deltas on the in-memory and spilling profiles."""
+
+    @pytest.mark.parametrize("query", TEMPLATES)
+    @pytest.mark.parametrize("profile,factory,budget",
+                             SWEEPS, ids=[s[0] for s in SWEEPS])
+    def test_measured_runs_match(self, profile, factory, budget, query):
+        observed = {}
+        for mode in ("scalar", "vectorized"):
+            session = make_session(factory, mode, memory_budget=budget)
+            measured = session.execute_measured(query, restore=True)
+            observed[mode] = (list(measured.column.values),
+                             repr(measured.counters),
+                             measured.measured_ns)
+        assert observed["scalar"] == observed["vectorized"]
+
+    @pytest.mark.parametrize("profile,factory,budget",
+                             SWEEPS, ids=[s[0] for s in SWEEPS])
+    def test_explanations_byte_identical(self, profile, factory, budget):
+        rendered = {}
+        for mode in ("scalar", "vectorized"):
+            session = make_session(factory, mode, memory_budget=budget)
+            rendered[mode] = [
+                session.explain_query(q).to_text() for q in TEMPLATES]
+        assert rendered["scalar"] == rendered["vectorized"]
+
+
+class TestModePlumbing:
+    def test_execution_mode_defaults_to_vectorized(self):
+        assert PlannerConfig().execution == "vectorized"
+        assert Session(hierarchy=tiny_test_machine()).config.execution \
+            == "vectorized"
+
+    def test_session_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="execution mode"):
+            Session(hierarchy=tiny_test_machine(), execution="turbo")
+
+    def test_execution_override_wins_over_config(self):
+        session = Session(hierarchy=tiny_test_machine(),
+                          config=PlannerConfig(execution="vectorized"),
+                          execution="scalar")
+        assert session.config.execution == "scalar"
+
+    def test_spawn_inherits_execution_mode(self):
+        session = Session(hierarchy=tiny_test_machine(),
+                          execution="scalar")
+        assert session.spawn().config.execution == "scalar"
+
+    def test_mode_is_part_of_plan_cache_key(self):
+        scalar = Session(hierarchy=origin2000_scaled(), execution="scalar")
+        scalar.create_table("orders", random_permutation(256, seed=1))
+        vectorized = Session(db=scalar.db, cache=scalar.plan_cache,
+                             execution="vectorized")
+        scalar.compile("sort(orders)")
+        vectorized.compile("sort(orders)")
+        assert scalar.compile_misses == 1
+        assert vectorized.compile_misses == 1  # no cross-mode cache hit
+        vectorized.compile("sort(orders)")
+        assert vectorized.compile_hits == 1
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestAccessRangeProperties:
+    """``access_range`` / ``batch()`` ≡ the per-item ``access`` loop for
+    arbitrary geometry, on a hierarchy with TLBs and a buffer pool."""
+
+    @given(addr=st.integers(min_value=0, max_value=1 << 16),
+           nbytes=st.integers(min_value=1, max_value=96),
+           stride=st.integers(min_value=-96, max_value=96),
+           count=st.integers(min_value=0, max_value=60),
+           write=st.booleans())
+    def test_access_range_equals_item_loop(self, addr, nbytes, stride,
+                                           count, write):
+        if stride < 0 and addr + (count - 1) * stride < 0:
+            return  # out of the address space either way
+        reference = MemorySystem(disk_extended_scaled())
+        for i in range(count):
+            reference.access(addr + i * stride, nbytes, write=write)
+        coalesced = MemorySystem(disk_extended_scaled())
+        coalesced.access_range(addr, nbytes, stride, count, write=write)
+        assert repr(coalesced.snapshot()) == repr(reference.snapshot())
+        assert coalesced.elapsed_ns == reference.elapsed_ns
+        assert coalesced.accesses == reference.accesses
+
+    @given(steps=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1 << 14),
+                  st.integers(min_value=1, max_value=64),
+                  st.booleans()),
+        max_size=40))
+    def test_batch_accessor_equals_access(self, steps):
+        reference = MemorySystem(disk_extended_scaled())
+        for addr, nbytes, write in steps:
+            reference.access(addr, nbytes, write=write)
+        batched = MemorySystem(disk_extended_scaled())
+        fused = batched.batch()
+        for addr, nbytes, write in steps:
+            fused(addr, nbytes, write)
+        assert repr(batched.snapshot()) == repr(reference.snapshot())
+        assert batched.elapsed_ns == reference.elapsed_ns
+        assert batched.accesses == reference.accesses
+
+    @given(addr=st.integers(min_value=0, max_value=1 << 14),
+           nbytes=st.integers(min_value=1, max_value=32),
+           stride=st.integers(min_value=0, max_value=64),
+           count=st.integers(min_value=0, max_value=50),
+           interleave=st.integers(min_value=0, max_value=1 << 14))
+    def test_range_interleaved_with_direct_access(self, addr, nbytes,
+                                                  stride, count, interleave):
+        """Mixing access_range with direct accesses mid-stream keeps
+        state exact (the fused shortcut must notice the interleaving)."""
+        reference = MemorySystem(origin2000_scaled())
+        coalesced = MemorySystem(origin2000_scaled())
+        for i in range(count):
+            reference.access(addr + i * stride, nbytes)
+        reference.access(interleave, 8, write=True)
+        for i in range(count):
+            reference.access(addr + i * stride, nbytes)
+        coalesced.access_range(addr, nbytes, stride, count)
+        coalesced.access(interleave, 8, write=True)
+        coalesced.access_range(addr, nbytes, stride, count)
+        assert repr(coalesced.snapshot()) == repr(reference.snapshot())
+        assert coalesced.elapsed_ns == reference.elapsed_ns
+
+
+class TestServiceTraces:
+    """Coalesced range entries through the service trace machinery."""
+
+    def _plan(self, session, query):
+        return session.compile(query).plan
+
+    def _service_session(self, mode):
+        return make_session(origin2000_scaled, mode)
+
+    def test_vectorized_trace_is_coalesced_but_equivalent(self):
+        scalar_session = self._service_session("scalar")
+        vector_session = Session(db=scalar_session.db,
+                                 cache=scalar_session.plan_cache,
+                                 execution="vectorized")
+        vector_session._functions.update(scalar_session._functions)
+        plan_s = self._plan(scalar_session, "filter(orders, even, sel=0.5)")
+        plan_v = self._plan(vector_session, "filter(orders, even, sel=0.5)")
+        db = scalar_session.db
+        with db.execution_scope("scalar"):
+            trace_scalar = record_trace(db, plan_s)
+        with db.execution_scope("vectorized"):
+            trace_vector = record_trace(db, plan_v)
+        assert len(trace_vector) < len(trace_scalar)  # genuinely coalesced
+        assert trace_length(trace_vector) == trace_length(trace_scalar)
+        assert any(entry[0] == "range" for entry in trace_vector)
+        for quantum in (1, 7, 64):
+            replay_s = replay_interleaved(db.hierarchy,
+                                          [trace_scalar, trace_scalar],
+                                          quantum=quantum)
+            replay_v = replay_interleaved(db.hierarchy,
+                                          [trace_vector, trace_vector],
+                                          quantum=quantum)
+            assert replay_v == replay_s
+
+    def test_recorder_skips_empty_ranges(self):
+        recorder = TraceRecorder()
+        recorder.access_range(64, 8, 8, 0)
+        recorder.access_range(64, 8, None, 3)
+        recorder.access(8, 8)
+        fused = recorder.batch()
+        fused(16, 8, True)
+        assert recorder.trace == [("range", 64, 8, 8, 3), (8, 8), (16, 8)]
+        assert trace_length(recorder.trace) == 5
+
+    def test_replay_splits_range_at_quantum_boundary(self):
+        trace = [("range", 0, 8, 8, 50)]
+        whole = replay_interleaved(origin2000_scaled(), [trace], quantum=1000)
+        split = replay_interleaved(origin2000_scaled(), [trace], quantum=7)
+        assert whole.total_ns == split.total_ns
+
+    def test_service_workload_identical_across_modes(self):
+        from repro.service import ServiceExecutor, WorkloadQuery
+        from repro.service.scheduler import MaxParallelPolicy
+        queries = [
+            WorkloadQuery(qid=0, client=0, kind="q",
+                          text="filter(orders, even, sel=0.5)"),
+            WorkloadQuery(qid=1, client=1, kind="q", text="sort(orders)"),
+            WorkloadQuery(qid=2, client=0, kind="q",
+                          text="aggregate(events, groups=64)"),
+        ]
+        reports = {}
+        for mode in ("scalar", "vectorized"):
+            session = self._service_session(mode)
+            executor = ServiceExecutor(session, MaxParallelPolicy(max_batch=2))
+            report = executor.run(queries)
+            reports[mode] = [(m.qid, m.memory_ns, m.finish_ns)
+                             for m in report.queries]
+        assert reports["scalar"] == reports["vectorized"]
