@@ -17,6 +17,8 @@ The package provides:
 * :mod:`repro.session` — the public façade: fluent/text query frontends,
   prepared statements, and a profile-keyed plan cache.
 * :mod:`repro.validation` — the model-vs-measurement experiment harness.
+* :mod:`repro.server` — an asyncio multi-tenant query server serving
+  open-loop traffic with ⊙-guided admission control and SLO tracking.
 """
 
 from .hardware import (
@@ -30,7 +32,7 @@ from .hardware import (
 )
 from .simulator import MemorySystem
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def __getattr__(name):
@@ -39,11 +41,15 @@ def __getattr__(name):
     if name == "Session":
         from .session import Session
         return Session
+    if name == "QueryServer":
+        from .server import QueryServer
+        return QueryServer
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "Session",
+    "QueryServer",
     "CacheLevel",
     "MemoryHierarchy",
     "MemorySystem",

@@ -1,0 +1,194 @@
+"""Admission control: bounded queueing, load shedding, ⊙-guided
+batches.
+
+The controller owns the server's run queue and answers two questions.
+
+**May this query wait here?**  The queue is bounded (overload must
+surface as explicit shedding, not unbounded simulated latency), and
+per-tenant fairly: each tenant's occupancy is capped by its quota, and
+when the queue is full a light tenant's arrival displaces the newest
+queued query of the *heaviest* tenant instead of being shed — one
+tenant flooding the server cannot starve the others out of the queue.
+
+**What runs next?**  Batch formation follows the PR 3 admission rule,
+driven by the ⊙ :class:`~repro.service.InterferenceModel`: grow the
+batch with the candidate that increases the predicted makespan least,
+and admit a candidate only while
+
+    makespan(batch ∪ {c})  ≤  makespan(batch) + slack · solo(c)
+
+i.e. co-running ``c`` is predicted to cost no more than queueing it
+behind the batch.  Only queries that have *arrived* by the decision
+time are candidates (open-loop semantics: the scheduler cannot see the
+future), and batch seeds rotate round-robin over tenants so no tenant
+waits forever behind a chattier one.  Two degenerate modes —
+``"fifo-serial"`` (singletons) and ``"max-parallel"`` (pack to the cap
+in arrival order, contention-blind) — are the baselines the serving
+benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..query.physical import QueryPlan
+from ..service.interference import InterferenceModel
+from .tenant import TenantQuota
+
+__all__ = ["ServerTask", "AdmissionController", "ADMISSION_MODES"]
+
+#: Recognized batch-formation modes.
+ADMISSION_MODES = ("interference-aware", "max-parallel", "fifo-serial")
+
+
+@dataclass
+class ServerTask:
+    """One compiled query waiting in the server's run queue."""
+
+    qid: int
+    tenant: str
+    kind: str
+    text: str
+    arrival_ns: float
+    plan: QueryPlan
+    #: Predicted standalone (cold, whole-cache) memory time.
+    solo_memory_ns: float
+    #: Calibrated pure-CPU time (Eq. 6.1).
+    cpu_ns: float
+    cache_hit: bool
+    signature: str = ""
+    #: Resolution slot the server attaches (an asyncio future-like);
+    #: the controller never touches it.
+    handle: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def solo_total_ns(self) -> float:
+        """Standalone completion time (Eq. 6.1: memory + CPU)."""
+        return self.solo_memory_ns + self.cpu_ns
+
+
+class AdmissionController:
+    """Bounded, tenant-fair run queue with ⊙-guided batch formation."""
+
+    def __init__(self, interference: InterferenceModel,
+                 mode: str = "interference-aware", max_queue: int = 64,
+                 max_batch: int = 4, slack: float = 1.0,
+                 lookahead: int = 8) -> None:
+        if mode not in ADMISSION_MODES:
+            raise ValueError(f"unknown admission mode {mode!r} "
+                             f"(expected one of {ADMISSION_MODES})")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if slack <= 0:
+            raise ValueError("slack must be positive")
+        if lookahead < 1:
+            raise ValueError("lookahead must be positive")
+        self.interference = interference
+        self.mode = mode
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.slack = slack
+        self.lookahead = lookahead
+        #: Arrival-ordered run queue.
+        self.queue: list[ServerTask] = []
+        #: Round-robin seed order over tenant names (least recently
+        #: seeded first).
+        self._rr: list[str] = []
+
+    # -- queue side ----------------------------------------------------
+    def occupancy(self, tenant: str) -> int:
+        return sum(1 for t in self.queue if t.tenant == tenant)
+
+    def offer(self, task: ServerTask, quota: TenantQuota
+              ) -> list[ServerTask]:
+        """Try to queue ``task``; returns the tasks shed by the
+        attempt — ``[task]`` itself when it was refused, ``[victim]``
+        when it displaced a heavier tenant's entry, ``[]`` when it
+        simply fit."""
+        if task.tenant not in self._rr:
+            self._rr.append(task.tenant)
+        if self.occupancy(task.tenant) >= quota.max_queued:
+            return [task]  # over its own quota: shed, nobody displaced
+        if len(self.queue) < self.max_queue:
+            self.queue.append(task)
+            return []
+        # Queue full: a lighter tenant displaces the newest entry of
+        # the heaviest one (never the other way round) — fairness means
+        # overload is charged to whoever causes it.
+        heaviest = max({t.tenant for t in self.queue},
+                       key=self.occupancy)
+        if (heaviest == task.tenant
+                or self.occupancy(task.tenant) + 1
+                >= self.occupancy(heaviest)):
+            return [task]
+        victim = next(t for t in reversed(self.queue)
+                      if t.tenant == heaviest)
+        self.queue.remove(victim)
+        self.queue.append(task)
+        return [victim]
+
+    def earliest_arrival(self) -> float | None:
+        """The earliest arrival time still queued (for idle-clock
+        jumps), or ``None`` on an empty queue."""
+        if not self.queue:
+            return None
+        return min(t.arrival_ns for t in self.queue)
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    # -- batch side ----------------------------------------------------
+    def _makespan(self, batch: list[ServerTask]) -> float:
+        return self.interference.co_run(
+            [t.plan for t in batch]).makespan_ns
+
+    def _seed(self, arrived: list[ServerTask]) -> ServerTask:
+        """The next batch's seed: the longest-waiting query of the
+        least recently seeded tenant that has anything waiting."""
+        for name in self._rr:
+            for task in arrived:
+                if task.tenant == name:
+                    self._rr.remove(name)
+                    self._rr.append(name)
+                    return task
+        return arrived[0]
+
+    def next_batch(self, now_ns: float) -> list[ServerTask]:
+        """Form (and dequeue) the next co-run batch among the queries
+        that have arrived by ``now_ns``; ``[]`` when none have."""
+        arrived = [t for t in self.queue if t.arrival_ns <= now_ns]
+        if not arrived:
+            return []
+        if self.mode == "fifo-serial":
+            batch = [arrived[0]]
+        elif self.mode == "max-parallel":
+            batch = arrived[:self.max_batch]
+        else:
+            batch = [self._seed(arrived)]
+            candidates = [t for t in arrived if t is not batch[0]]
+            current = self._makespan(batch)
+            while len(batch) < self.max_batch and candidates:
+                best_index = None
+                best_makespan = None
+                for i, candidate in enumerate(
+                        candidates[:self.lookahead]):
+                    predicted = self._makespan(batch + [candidate])
+                    limit = current + self.slack * candidate.solo_total_ns
+                    if predicted > limit:
+                        continue  # rejected: queueing it is cheaper
+                    if best_makespan is None or predicted < best_makespan:
+                        best_index, best_makespan = i, predicted
+                if best_index is None:
+                    break
+                batch.append(candidates.pop(best_index))
+                current = best_makespan
+        for task in batch:
+            self.queue.remove(task)
+        return batch
+
+    def __repr__(self) -> str:
+        return (f"AdmissionController(mode={self.mode!r}, "
+                f"queued={len(self.queue)}/{self.max_queue}, "
+                f"max_batch={self.max_batch}, slack={self.slack})")

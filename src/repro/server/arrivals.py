@@ -1,0 +1,116 @@
+"""Seeded open-loop arrival processes for live traffic.
+
+*Open-loop* means arrivals follow the clock, not the server: a slow
+server does not slow the stream down, it grows the queue — the regime
+in which tail latency and admission control actually matter (a
+closed-loop client politely waits for its previous response, which
+hides overload).  Every process here is deterministic in its seed, so
+a serving experiment can be replayed query-for-query, gap-for-gap.
+
+The gap vocabulary is shared with offline replay:
+:func:`repro.service.workload.poisson_gaps` /
+:func:`~repro.service.workload.stamp_arrivals` define what a stamped
+stream *is*; this module adds process objects the server and the
+benchmarks can hold, plus a bursty variant (Poisson epochs of
+back-to-back arrivals) for stress shapes a plain Poisson stream never
+produces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from ..service.workload import WorkloadQuery, poisson_gaps, stamp_arrivals
+
+__all__ = ["ArrivalProcess", "PoissonArrivals", "BurstArrivals"]
+
+
+class ArrivalProcess:
+    """Base class: a seeded generator of inter-arrival gaps
+    (simulated ns) with mean rate :attr:`rate_qps`.
+
+    :meth:`gaps` returns a fresh, endless iterator each call — drawn
+    from a generator seeded per call, so stamping the same stream twice
+    yields identical timestamps.
+    """
+
+    def __init__(self, rate_qps: float, seed: int = 0) -> None:
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        self.rate_qps = rate_qps
+        self.seed = seed
+
+    @property
+    def mean_gap_ns(self) -> float:
+        return 1e9 / self.rate_qps
+
+    def gaps(self) -> Iterator[float]:
+        raise NotImplementedError
+
+    def timestamps(self, n: int) -> list[float]:
+        """The first ``n`` cumulative arrival times."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        out, clock, gaps = [], 0.0, self.gaps()
+        for _ in range(n):
+            clock += next(gaps)
+            out.append(clock)
+        return out
+
+    def stamp(self, queries: Sequence[WorkloadQuery]
+              ) -> list[WorkloadQuery]:
+        """The same stream with this process's arrival timestamps."""
+        return stamp_arrivals(queries, self.gaps())
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(rate_qps={self.rate_qps}, "
+                f"seed={self.seed})")
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps with mean
+    ``1e9 / rate_qps`` ns — the classic open-loop traffic model."""
+
+    def gaps(self) -> Iterator[float]:
+        return poisson_gaps(random.Random(self.seed), self.rate_qps)
+
+
+class BurstArrivals(ArrivalProcess):
+    """Bursty arrivals at the same mean rate: every ``burst``-th gap is
+    a long exponential quiet period, the rest are short intra-burst
+    gaps (``burst_spread`` of the mean gap) — clients piling in
+    together, then silence.  Mean rate stays ``rate_qps``; the variance
+    moves into the bursts, which is what stresses admission control and
+    the tail percentiles."""
+
+    def __init__(self, rate_qps: float, seed: int = 0, burst: int = 4,
+                 burst_spread: float = 0.1) -> None:
+        super().__init__(rate_qps, seed)
+        if burst < 1:
+            raise ValueError("burst must be positive")
+        if not 0.0 <= burst_spread < 1.0:
+            raise ValueError("burst_spread must be in [0, 1)")
+        self.burst = burst
+        self.burst_spread = burst_spread
+
+    def gaps(self) -> Iterator[float]:
+        rng = random.Random(self.seed)
+        intra_ns = self.burst_spread * self.mean_gap_ns
+        # one long gap per burst keeps the mean: burst·mean = long +
+        # (burst-1)·intra
+        long_mean_ns = (self.burst * self.mean_gap_ns
+                        - (self.burst - 1) * intra_ns)
+
+        def _gaps() -> Iterator[float]:
+            while True:
+                yield rng.expovariate(1.0 / long_mean_ns)
+                for _ in range(self.burst - 1):
+                    yield intra_ns
+
+        return _gaps()
+
+    def __repr__(self) -> str:
+        return (f"BurstArrivals(rate_qps={self.rate_qps}, "
+                f"seed={self.seed}, burst={self.burst}, "
+                f"burst_spread={self.burst_spread})")

@@ -1,0 +1,601 @@
+"""The asyncio multi-tenant query server.
+
+:class:`QueryServer` turns the offline cost-model stack into a
+long-lived service: text-frontend queries arrive (open-loop, stamped
+by an arrival process or live via :meth:`~QueryServer.submit`), are
+compiled on a bounded worker pool through per-tenant plan caches
+(thread-safe since :meth:`~repro.session.PlanCache.get_or_compute`),
+wait in the admission controller's bounded queue, and execute as
+⊙-guided co-run batches on the one simulated machine.
+
+Two clocks run at once.  *Wall clock*: compiles genuinely run in
+parallel on the pool, batches execute in worker threads while the
+event loop keeps accepting traffic.  *Simulated clock*: the machine's
+time, advanced batch by batch — a batch starts at
+``max(machine-free, seed arrival)``, lasts its replayed makespan, and
+a query's reported latency is simulated ``finish − arrival``.  All
+scheduling decisions are functions of the simulated clock only (a
+batch never includes a query that had not arrived when the batch
+started, and a decision at simulated time *t* waits for every compile
+whose query arrived by *t*), so a serving run is deterministic in
+``(workload, seeds, policy)`` no matter how the pool's threads race.
+
+Execution reuses the PR 3 machinery verbatim: each member's access
+trace is recorded against its tenant's engine, shifted into the
+tenant's private slice of the address space (tenants do not share
+tables), and the batch replays round-robin-interleaved through one
+cold :class:`~repro.simulator.MemorySystem` — the measured counterpart
+of the ⊙ prediction the admission controller trusted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..hardware.hierarchy import MemoryHierarchy
+from ..hardware.profiles import origin2000_scaled
+from ..query.optimizer import PlannerConfig, plan_signature
+from ..service.executor import (
+    DEFAULT_QUANTUM,
+    TraceRecorder,
+    _restored_columns,
+    replay_interleaved,
+)
+from ..service.interference import InterferenceModel
+from ..service.metrics import BatchMetrics, percentile
+from ..service.workload import WorkloadQuery
+from .admission import AdmissionController, ServerTask
+from .slo import DEFAULT_WINDOW_NS, SloTarget, SloTracker
+from .tenant import Tenant, TenantQuota
+
+__all__ = ["ServerResponse", "ServingReport", "QueryServer"]
+
+
+@dataclass(frozen=True)
+class ServerResponse:
+    """One query's serving outcome on the simulated clock."""
+
+    qid: int
+    tenant: str
+    kind: str
+    text: str
+    #: ``"ok"`` or ``"shed"`` (refused by admission control).
+    outcome: str
+    arrival_ns: float
+    start_ns: float
+    finish_ns: float
+    #: Result cardinality (``None`` when shed).
+    rows: int | None = None
+    #: Plan-cache provenance of the compile (``None`` when shed).
+    cache_hit: bool | None = None
+    batch_index: int | None = None
+    batch_size: int | None = None
+    signature: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    @property
+    def latency_ns(self) -> float:
+        """Simulated completion latency (0 for shed queries, which are
+        refused immediately)."""
+        return self.finish_ns - self.arrival_ns
+
+    @property
+    def wait_ns(self) -> float:
+        """Simulated queueing delay before the query's batch started."""
+        return self.start_ns - self.arrival_ns
+
+    def to_json(self) -> dict:
+        return {
+            "qid": self.qid, "tenant": self.tenant, "kind": self.kind,
+            "text": self.text, "outcome": self.outcome,
+            "arrival_ns": self.arrival_ns, "start_ns": self.start_ns,
+            "finish_ns": self.finish_ns, "latency_ns": self.latency_ns,
+            "rows": self.rows, "cache_hit": self.cache_hit,
+            "batch_index": self.batch_index,
+            "batch_size": self.batch_size, "signature": self.signature,
+        }
+
+
+class ServingReport:
+    """A serving run's full accounting: every response, every batch's
+    ⊙ prediction next to its replay measurement, the SLO windows, and
+    per-tenant counters."""
+
+    def __init__(self, policy: str, responses: list[ServerResponse],
+                 batches: list[BatchMetrics], slo: dict,
+                 breaches: list, tenants: list[dict]) -> None:
+        self.policy = policy
+        self.responses = responses
+        self.batches = batches
+        self.slo = slo
+        self.breaches = breaches
+        self.tenants = tenants
+
+    # -- headline numbers ----------------------------------------------
+    @property
+    def completed(self) -> list[ServerResponse]:
+        return [r for r in self.responses if r.ok]
+
+    @property
+    def shed(self) -> list[ServerResponse]:
+        return [r for r in self.responses if not r.ok]
+
+    @property
+    def makespan_ns(self) -> float:
+        """Simulated completion time of the last served query."""
+        done = self.completed
+        return max(r.finish_ns for r in done) if done else 0.0
+
+    @property
+    def sustained_qps(self) -> float:
+        """Completions per simulated second over the whole run."""
+        span = self.makespan_ns
+        return len(self.completed) / (span / 1e9) if span > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float | None:
+        return percentile([r.latency_ns for r in self.completed], q,
+                          empty=None)
+
+    @property
+    def p50_latency_ns(self) -> float | None:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p95_latency_ns(self) -> float | None:
+        return self.latency_percentile(95.0)
+
+    @property
+    def p99_latency_ns(self) -> float | None:
+        return self.latency_percentile(99.0)
+
+    @property
+    def predicted_makespan_ns(self) -> float:
+        """Σ of the ⊙-predicted batch makespans (busy time only)."""
+        return sum(b.predicted_makespan_ns for b in self.batches)
+
+    @property
+    def measured_makespan_ns(self) -> float:
+        """Σ of the replay-measured batch makespans."""
+        return sum(b.measured_makespan_ns for b in self.batches)
+
+    @property
+    def mean_contention_error(self) -> float:
+        """Mean relative ⊙-vs-replay error over co-run batches."""
+        shared = [b.contention_error for b in self.batches if b.size > 1]
+        return sum(shared) / len(shared) if shared else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "serving_report",
+            "policy": self.policy,
+            "completed": len(self.completed),
+            "shed": len(self.shed),
+            "makespan_ns": self.makespan_ns,
+            "sustained_qps": self.sustained_qps,
+            "p50_latency_ns": self.p50_latency_ns,
+            "p95_latency_ns": self.p95_latency_ns,
+            "p99_latency_ns": self.p99_latency_ns,
+            "predicted_makespan_ns": self.predicted_makespan_ns,
+            "measured_makespan_ns": self.measured_makespan_ns,
+            "mean_contention_error": self.mean_contention_error,
+            "slo": self.slo,
+            "breaches": [b.to_json() for b in self.breaches],
+            "tenants": self.tenants,
+            "responses": [r.to_json() for r in self.responses],
+            "batches": [b.to_json() for b in self.batches],
+        }
+
+    def render(self) -> str:
+        def _ms(value: float | None) -> str:
+            return "     -" if value is None else f"{value / 1e6:6.2f}"
+
+        lines = [
+            f"policy {self.policy}: {len(self.completed)} served, "
+            f"{len(self.shed)} shed, {len(self.batches)} batches",
+            f"  makespan   {self.makespan_ns / 1e6:>10.2f} ms   "
+            f"sustained {self.sustained_qps:>8.1f} q/s",
+            f"  latency    p50 {_ms(self.p50_latency_ns)} ms   "
+            f"p95 {_ms(self.p95_latency_ns)} ms   "
+            f"p99 {_ms(self.p99_latency_ns)} ms",
+            f"  ⊙ vs replay error {self.mean_contention_error * 100:5.1f}% "
+            f"(co-run batches)   SLO breaches {len(self.breaches)}",
+        ]
+        for tenant in self.tenants:
+            cache = tenant["plan_cache"]
+            lines.append(
+                f"  tenant {tenant['name']:<10} "
+                f"served {tenant['completed']:>4}  "
+                f"shed {tenant['shed']:>3}  "
+                f"plan cache {cache['hits']}/{cache['hits'] + cache['misses']}"
+                f" hits")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"ServingReport({self.policy!r}, "
+                f"completed={len(self.completed)}, "
+                f"shed={len(self.shed)}, "
+                f"qps={self.sustained_qps:.0f})")
+
+
+class QueryServer:
+    """An asyncio query server over per-tenant session stacks.
+
+    Parameters
+    ----------
+    hierarchy:
+        The shared machine every tenant's queries execute on; defaults
+        to the scaled Origin2000.
+    mode:
+        Batch-formation policy: ``"interference-aware"`` (⊙-guided
+        admission, the default), ``"max-parallel"``, or
+        ``"fifo-serial"`` (the benchmark baselines).
+    max_workers:
+        Worker-pool width for compiles and batch execution.
+    max_batch / max_queue / slack / lookahead:
+        Admission-controller knobs (:class:`AdmissionController`).
+    quantum:
+        Interleaved-replay time slice (accesses per co-runner per
+        turn).
+    slo / tenant_slos / slo_window_ns:
+        Objectives for the :class:`~repro.server.slo.SloTracker`.
+    config:
+        Planner config handed to every tenant session.
+    """
+
+    def __init__(self, hierarchy: MemoryHierarchy | None = None, *,
+                 mode: str = "interference-aware", max_workers: int = 4,
+                 max_batch: int = 4, max_queue: int = 64,
+                 slack: float = 1.0, lookahead: int = 8,
+                 quantum: int = DEFAULT_QUANTUM,
+                 slo: SloTarget | None = None,
+                 tenant_slos: dict[str, SloTarget] | None = None,
+                 slo_window_ns: float = DEFAULT_WINDOW_NS,
+                 config: PlannerConfig | None = None) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else origin2000_scaled())
+        self.interference = InterferenceModel(self.hierarchy)
+        self.admission = AdmissionController(
+            self.interference, mode=mode, max_queue=max_queue,
+            max_batch=max_batch, slack=slack, lookahead=lookahead)
+        self.slo = SloTracker(target=slo, tenant_targets=tenant_slos,
+                              window_ns=slo_window_ns)
+        self.max_workers = max_workers
+        self.quantum = quantum
+        self.config = config
+        self.tenants: dict[str, Tenant] = {}
+        # accumulated accounting
+        self._responses: list[ServerResponse] = []
+        self._batches: list[BatchMetrics] = []
+        self._clock = 0.0
+        self._next_qid = 0
+        self._batch_index = 0
+        # runtime state (created by start())
+        self._pool: ThreadPoolExecutor | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._wake: asyncio.Event | None = None
+        self._idle: asyncio.Event | None = None
+        self._compiling: dict[int, float] = {}  # qid -> arrival_ns
+        self._staged: list[ServerTask] = []  # compiled, not yet admitted
+        self._outstanding = 0
+        self._machine_lock = threading.Lock()
+        self._model_lock = threading.Lock()
+
+    # -- tenants -------------------------------------------------------
+    def add_tenant(self, name: str, quota: TenantQuota | None = None
+                   ) -> Tenant:
+        """Register a tenant (own catalog, own plan cache, own quota).
+        Populate its catalog through ``tenant.session`` — e.g. hand it
+        to a :class:`~repro.service.WorkloadGenerator`."""
+        if name in self.tenants:
+            raise ValueError(f"tenant {name!r} already exists")
+        tenant = Tenant(name, index=len(self.tenants),
+                        hierarchy=self.hierarchy, quota=quota,
+                        config=self.config)
+        self.tenants[name] = tenant
+        return tenant
+
+    def tenant(self, name: str) -> Tenant:
+        try:
+            return self.tenants[name]
+        except KeyError:
+            known = ", ".join(sorted(self.tenants)) or "none registered"
+            raise KeyError(f"no tenant {name!r} (known: {known})") \
+                from None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "QueryServer":
+        """Create the worker pool and the dispatcher; idempotent."""
+        if self._dispatcher is not None:
+            return self
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="repro-server")
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Stop dispatching and release the pool (pending queries keep
+        their futures unresolved; call :meth:`drain` first for a clean
+        shutdown)."""
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def drain(self) -> None:
+        """Wait until every submitted query has been resolved (served
+        or shed) and the run queue is empty."""
+        assert self._idle is not None, "server not started"
+        while True:
+            await self._idle.wait()
+            if self._outstanding == 0 and not self.admission.queue \
+                    and not self._staged and not self._compiling:
+                return
+
+    # -- submission ----------------------------------------------------
+    def submit_nowait(self, tenant: str, text: str, kind: str = "adhoc",
+                      arrival_ns: float | None = None
+                      ) -> "asyncio.Future[ServerResponse]":
+        """Accept one query for ``tenant`` and return a future for its
+        :class:`ServerResponse`.  ``arrival_ns`` places it on the
+        simulated clock (defaults to the machine's current simulated
+        time — "it arrived just now")."""
+        if self._pool is None or self._wake is None:
+            raise RuntimeError("server not started (use `async with "
+                               "QueryServer(...)` or await start())")
+        owner = self.tenant(tenant)
+        owner.submitted += 1
+        qid = self._next_qid
+        self._next_qid += 1
+        arrival = self._clock if arrival_ns is None else float(arrival_ns)
+        loop = asyncio.get_running_loop()
+        response: asyncio.Future = loop.create_future()
+        self._outstanding += 1
+        self._idle.clear()
+        self._compiling[qid] = arrival
+        compile_future = loop.run_in_executor(
+            self._pool, self._compile, owner, qid, kind, text, arrival)
+
+        def _compiled(done: asyncio.Future) -> None:
+            del self._compiling[qid]
+            try:
+                task = done.result()
+            except BaseException as exc:  # bad query text, planner error
+                if not response.done():
+                    response.set_exception(exc)
+                self._resolve_bookkeeping()
+            else:
+                # Stage only: the admission (quota/shedding) decision is
+                # the dispatcher's, made on the simulated clock — queue
+                # state must not depend on how compile threads raced.
+                task.handle = response
+                self._staged.append(task)
+            self._wake.set()
+
+        compile_future.add_done_callback(_compiled)
+        return response
+
+    async def submit(self, tenant: str, text: str, kind: str = "adhoc",
+                     arrival_ns: float | None = None) -> ServerResponse:
+        """Submit one query and wait for its response."""
+        return await self.submit_nowait(tenant, text, kind, arrival_ns)
+
+    async def serve(self, queries: list[WorkloadQuery],
+                    tenant_for=None, realtime_factor: float | None = None
+                    ) -> list[ServerResponse]:
+        """Serve a stamped workload stream and return the responses in
+        qid order.  ``tenant_for`` maps a query to a tenant name
+        (default: clients dealt round-robin over registered tenants);
+        ``realtime_factor`` additionally paces submissions on the wall
+        clock (wall seconds per simulated second) — the simulated
+        accounting is identical either way, pacing just makes the
+        traffic observable."""
+        if not self.tenants:
+            raise RuntimeError("no tenants registered")
+        names = [t.name for t in
+                 sorted(self.tenants.values(), key=lambda t: t.index)]
+        if tenant_for is None:
+            def tenant_for(query):  # noqa: E306
+                return names[query.client % len(names)]
+        futures = []
+        previous_arrival = 0.0
+        for query in queries:
+            if realtime_factor is not None:
+                gap_ns = query.arrival_ns - previous_arrival
+                previous_arrival = query.arrival_ns
+                if gap_ns > 0:
+                    await asyncio.sleep(gap_ns / 1e9 * realtime_factor)
+            futures.append(self.submit_nowait(
+                tenant_for(query), query.text, kind=query.kind,
+                arrival_ns=query.arrival_ns))
+        responses = await asyncio.gather(*futures)
+        return sorted(responses, key=lambda r: r.qid)
+
+    # -- worker-side stages --------------------------------------------
+    def _compile(self, tenant: Tenant, qid: int, kind: str, text: str,
+                 arrival_ns: float) -> ServerTask:
+        """Worker thread: compile through the tenant's (thread-safe)
+        plan cache and price the standalone run."""
+        session = tenant.worker_session()
+        planned = session.compile(text)
+        plan = planned.plan
+        with self._model_lock:
+            memory, cpu = self.interference.standalone(plan)
+        return ServerTask(qid=qid, tenant=tenant.name, kind=kind,
+                          text=text, arrival_ns=arrival_ns, plan=plan,
+                          solo_memory_ns=memory, cpu_ns=cpu,
+                          cache_hit=session.last_compile_cached,
+                          signature=plan_signature(plan.root))
+
+    def _execute_batch(self, batch: list[ServerTask], start_ns: float):
+        """Worker thread: record each member's trace against its
+        tenant's engine (shifted into the tenant's address slice) and
+        replay the batch interleaved through one cold memory system on
+        the server's machine."""
+        with self._machine_lock:
+            traces, rows = [], []
+            for task in batch:
+                tenant = self.tenants[task.tenant]
+                db = tenant.db
+                recorder = TraceRecorder()
+                real = db.mem
+                with _restored_columns(db):
+                    db.mem = recorder
+                    try:
+                        with db.execution_scope(
+                                tenant.session.config.execution):
+                            result = task.plan.execute(db)
+                    finally:
+                        db.mem = real
+                rows.append(len(result.values))
+                offset = tenant.address_offset
+                traces.append(
+                    [("range", e[1] + offset, e[2], e[3], e[4])
+                     if e[0] == "range" else (e[0] + offset, e[1])
+                     for e in recorder.trace] if offset
+                    else recorder.trace)
+            replay = replay_interleaved(self.hierarchy, traces,
+                                        quantum=self.quantum)
+        return replay, rows
+
+    # -- dispatcher ----------------------------------------------------
+    def _shed(self, task: ServerTask, at_ns: float) -> None:
+        """Refuse ``task`` at simulated time ``at_ns`` (its own arrival
+        when it never got in, the displacement time for a victim)."""
+        tenant = self.tenants[task.tenant]
+        tenant.shed += 1
+        response = ServerResponse(
+            qid=task.qid, tenant=task.tenant, kind=task.kind,
+            text=task.text, outcome="shed",
+            arrival_ns=task.arrival_ns, start_ns=at_ns,
+            finish_ns=at_ns, signature=task.signature)
+        self._responses.append(response)
+        if task.handle is not None and not task.handle.done():
+            task.handle.set_result(response)
+        self._resolve_bookkeeping()
+
+    def _resolve_bookkeeping(self) -> None:
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self._idle.set()
+
+    def _admit_due(self, now_ns: float) -> None:
+        """Move staged tasks that have arrived by ``now_ns`` into the
+        run queue, in arrival order — quota checks and shedding happen
+        here, on the simulated clock, so queue state is a function of
+        the workload, never of compile-thread timing."""
+        due = sorted((t for t in self._staged
+                      if t.arrival_ns <= now_ns),
+                     key=lambda t: (t.arrival_ns, t.qid))
+        for task in due:
+            self._staged.remove(task)
+            quota = self.tenants[task.tenant].quota
+            for victim in self.admission.offer(task, quota):
+                self._shed(victim,
+                           victim.arrival_ns if victim is task else now_ns)
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._staged or self.admission.queue:
+                arrivals = [t.arrival_ns for t in self._staged]
+                queued_earliest = self.admission.earliest_arrival()
+                if queued_earliest is not None:
+                    arrivals.append(queued_earliest)
+                now = max(self._clock, min(arrivals))
+                if self._compiling and min(self._compiling.values()) <= now:
+                    # a query that arrived by `now` is still compiling:
+                    # deciding without it would race wall-clock threads
+                    break
+                self._admit_due(now)
+                batch = self.admission.next_batch(now)
+                if not batch:
+                    # everything due was shed; jump to the next arrival
+                    continue
+                prediction = self.interference.co_run(
+                    [t.plan for t in batch])
+                replay, rows = await loop.run_in_executor(
+                    self._pool, self._execute_batch, batch, now)
+                finishes = []
+                index = self._batch_index
+                self._batch_index += 1
+                for i, task in enumerate(batch):
+                    # done once its accesses have drained *and* its own
+                    # CPU work fits after/between them
+                    finish = max(replay.finish_ns[i],
+                                 replay.memory_ns[i] + task.cpu_ns)
+                    finishes.append(finish)
+                makespan = max(max(finishes), replay.total_ns)
+                for task, finish, nrows in zip(batch, finishes, rows):
+                    tenant = self.tenants[task.tenant]
+                    tenant.completed += 1
+                    response = ServerResponse(
+                        qid=task.qid, tenant=task.tenant,
+                        kind=task.kind, text=task.text, outcome="ok",
+                        arrival_ns=task.arrival_ns, start_ns=now,
+                        finish_ns=now + finish, rows=nrows,
+                        cache_hit=task.cache_hit, batch_index=index,
+                        batch_size=len(batch),
+                        signature=task.signature)
+                    self._responses.append(response)
+                    self.slo.observe(task.tenant, response.finish_ns,
+                                     response.latency_ns)
+                    if task.handle is not None \
+                            and not task.handle.done():
+                        task.handle.set_result(response)
+                    self._resolve_bookkeeping()
+                self._batches.append(BatchMetrics(
+                    index=index, size=len(batch),
+                    predicted_memory_ns=prediction.batch_memory_ns,
+                    measured_memory_ns=replay.total_ns,
+                    predicted_makespan_ns=prediction.makespan_ns,
+                    measured_makespan_ns=makespan))
+                self._clock = now + makespan
+
+    # -- reporting -----------------------------------------------------
+    @property
+    def clock_ns(self) -> float:
+        """The machine's current simulated time."""
+        return self._clock
+
+    def report(self) -> ServingReport:
+        """A snapshot of everything served so far."""
+        return ServingReport(
+            policy=self.admission.mode,
+            responses=sorted(self._responses, key=lambda r: r.qid),
+            batches=list(self._batches),
+            slo=self.slo.snapshot(),
+            breaches=list(self.slo.breaches),
+            tenants=[t.stats() for t in
+                     sorted(self.tenants.values(),
+                            key=lambda t: t.index)])
+
+    def __repr__(self) -> str:
+        return (f"QueryServer(mode={self.admission.mode!r}, "
+                f"tenants={sorted(self.tenants)}, "
+                f"served={len(self._responses)})")

@@ -1,0 +1,188 @@
+"""Sliding-window latency/throughput tracking and SLO-breach events.
+
+The server observes one sample per completed query — ``(finish_ns,
+latency_ns)`` on the simulated clock — into per-tenant and global
+sliding windows.  Percentiles come from the same
+:func:`repro.service.metrics.percentile` the offline reports use
+(``empty=None``: a window with no completions has no percentile);
+targets are declared per scope and every violation is recorded as a
+typed :class:`SloBreach` event, so "did we hold p99 under load?" is a
+question about data, not about eyeballing logs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..service.metrics import percentile
+
+__all__ = ["SloTarget", "SloBreach", "SlidingWindow", "SloTracker"]
+
+#: Default sliding-window span: 50 simulated ms — hundreds of queries
+#: at the simulated machine's few-thousand-q/s service rate.
+DEFAULT_WINDOW_NS = 50e6
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """Latency/throughput objectives; ``None`` means untracked."""
+
+    p50_ns: float | None = None
+    p95_ns: float | None = None
+    p99_ns: float | None = None
+    min_throughput_qps: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("p50_ns", "p95_ns", "p99_ns", "min_throughput_qps"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class SloBreach:
+    """One observed violation: ``scope`` is ``"global"`` or a tenant
+    name; ``metric`` names the violated objective."""
+
+    at_ns: float
+    scope: str
+    metric: str
+    value: float
+    limit: float
+
+    def to_json(self) -> dict:
+        return {"at_ns": self.at_ns, "scope": self.scope,
+                "metric": self.metric, "value": self.value,
+                "limit": self.limit}
+
+
+class SlidingWindow:
+    """Completion samples inside the trailing ``window_ns``.
+
+    Samples arrive in finish-time order (the server's simulated clock
+    is monotone), so trimming is a popleft loop.
+    """
+
+    def __init__(self, window_ns: float = DEFAULT_WINDOW_NS) -> None:
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        self.window_ns = window_ns
+        self._samples: deque[tuple[float, float]] = deque()
+        self.total_observed = 0
+
+    def observe(self, finish_ns: float, latency_ns: float) -> None:
+        self._samples.append((finish_ns, latency_ns))
+        self.total_observed += 1
+        self._trim(finish_ns)
+
+    def _trim(self, now_ns: float) -> None:
+        cutoff = now_ns - self.window_ns
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def latency_percentile(self, q: float) -> float | None:
+        return percentile([lat for _, lat in self._samples], q, empty=None)
+
+    def throughput_qps(self) -> float:
+        """Completions per simulated second over the window actually
+        covered (from the first retained sample, so a half-filled
+        window is not under-reported)."""
+        if not self._samples:
+            return 0.0
+        span = self._samples[-1][0] - self._samples[0][0]
+        span = max(span, 1.0)  # a single sample: avoid div-by-zero
+        return (len(self._samples) - 1) / (span / 1e9) \
+            if len(self._samples) > 1 else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": len(self._samples),
+            "total_observed": self.total_observed,
+            "p50_ns": self.latency_percentile(50.0),
+            "p95_ns": self.latency_percentile(95.0),
+            "p99_ns": self.latency_percentile(99.0),
+            "throughput_qps": self.throughput_qps(),
+        }
+
+
+class SloTracker:
+    """Global + per-tenant sliding windows with breach detection.
+
+    ``target`` applies to the global window; ``tenant_targets`` maps
+    tenant names to their own objectives.  :meth:`observe` returns the
+    breaches that observation caused (and appends them to
+    :attr:`breaches`); throughput objectives are only checked once a
+    window holds at least :attr:`MIN_THROUGHPUT_SAMPLES` completions,
+    so a stream's first queries don't trip a rate floor vacuously.
+    """
+
+    MIN_THROUGHPUT_SAMPLES = 8
+
+    def __init__(self, target: SloTarget | None = None,
+                 tenant_targets: dict[str, SloTarget] | None = None,
+                 window_ns: float = DEFAULT_WINDOW_NS) -> None:
+        self.target = target
+        self.tenant_targets = dict(tenant_targets or {})
+        self.window_ns = window_ns
+        self.global_window = SlidingWindow(window_ns)
+        self.tenant_windows: dict[str, SlidingWindow] = {}
+        self.breaches: list[SloBreach] = []
+
+    # ------------------------------------------------------------------
+    def _window(self, tenant: str) -> SlidingWindow:
+        window = self.tenant_windows.get(tenant)
+        if window is None:
+            window = self.tenant_windows[tenant] = SlidingWindow(
+                self.window_ns)
+        return window
+
+    def _check(self, scope: str, window: SlidingWindow,
+               target: SloTarget | None, at_ns: float) -> list[SloBreach]:
+        if target is None:
+            return []
+        found: list[SloBreach] = []
+        for metric, limit in (("p50_ns", target.p50_ns),
+                              ("p95_ns", target.p95_ns),
+                              ("p99_ns", target.p99_ns)):
+            if limit is None:
+                continue
+            value = window.latency_percentile(float(metric[1:-3]))
+            if value is not None and value > limit:
+                found.append(SloBreach(at_ns=at_ns, scope=scope,
+                                       metric=metric, value=value,
+                                       limit=limit))
+        if (target.min_throughput_qps is not None
+                and len(window) >= self.MIN_THROUGHPUT_SAMPLES):
+            qps = window.throughput_qps()
+            if qps < target.min_throughput_qps:
+                found.append(SloBreach(at_ns=at_ns, scope=scope,
+                                       metric="throughput_qps", value=qps,
+                                       limit=target.min_throughput_qps))
+        return found
+
+    def observe(self, tenant: str, finish_ns: float,
+                latency_ns: float) -> list[SloBreach]:
+        """Record one completion; returns the breaches it triggered."""
+        self.global_window.observe(finish_ns, latency_ns)
+        window = self._window(tenant)
+        window.observe(finish_ns, latency_ns)
+        caused = self._check("global", self.global_window, self.target,
+                             finish_ns)
+        caused += self._check(tenant, window,
+                              self.tenant_targets.get(tenant), finish_ns)
+        self.breaches.extend(caused)
+        return caused
+
+    def snapshot(self) -> dict:
+        """Current windows, global and per tenant, plus breach count."""
+        return {
+            "global": self.global_window.snapshot(),
+            "tenants": {name: window.snapshot()
+                        for name, window in
+                        sorted(self.tenant_windows.items())},
+            "breaches": len(self.breaches),
+        }

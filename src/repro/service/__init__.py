@@ -33,11 +33,18 @@ from .scheduler import (
     SchedulePolicy,
     Task,
 )
-from .workload import WorkloadGenerator, WorkloadQuery
+from .workload import (
+    WorkloadGenerator,
+    WorkloadQuery,
+    poisson_gaps,
+    stamp_arrivals,
+)
 
 __all__ = [
     "WorkloadGenerator",
     "WorkloadQuery",
+    "poisson_gaps",
+    "stamp_arrivals",
     "InterferenceModel",
     "CoRunPrediction",
     "SchedulePolicy",

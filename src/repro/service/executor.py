@@ -42,7 +42,8 @@ from .scheduler import SchedulePolicy, Task
 from .workload import WorkloadQuery
 
 __all__ = ["TraceRecorder", "record_trace", "replay_interleaved",
-           "trace_length", "BatchReplay", "ServiceExecutor"]
+           "trace_length", "measure_solo", "BatchReplay",
+           "ServiceExecutor"]
 
 
 class TraceRecorder:
@@ -206,6 +207,29 @@ def replay_interleaved(hierarchy: MemoryHierarchy,
                        finish_ns=tuple(finish))
 
 
+def measure_solo(session: Session, plan: QueryPlan) -> MeasuredResult:
+    """One plan's cold typed measurement over ``session``'s engine.
+
+    Runs against a *fresh* memory system swapped in for the duration
+    (the engine's own clock and cache state stay untouched, exactly as
+    trace recording + replay guarantee), with base columns restored so
+    later runs observe the same base state — the solo-batch path both
+    the offline executor and the query server use."""
+    db = session.db
+    real = db.mem
+    db.mem = MemorySystem(session.hierarchy)
+    try:
+        with _restored_columns(db), \
+                db.execution_scope(session.config.execution):
+            return measure_plan(db, plan, session.model,
+                                pipeline=session.config.pipeline,
+                                cold=False,  # the swapped-in system
+                                             # is already cold
+                                signature=plan_signature(plan.root))
+    finally:
+        db.mem = real
+
+
 class ServiceExecutor:
     """Drives a workload through compile → schedule → co-run replay.
 
@@ -277,7 +301,7 @@ class ServiceExecutor:
                 # cold-cache counters a single-trace replay would (the
                 # out-of-core suite proves replay == execution) *plus*
                 # per-operator predicted-vs-measured attribution.
-                measured = self._measure_solo(db, batch[0].plan)
+                measured = measure_solo(self.session, batch[0].plan)
                 memory_ns = (measured.measured_ns,)
                 finish_ns = (measured.measured_ns,)
                 total_ns = measured.measured_ns
@@ -316,24 +340,3 @@ class ServiceExecutor:
         query_metrics.sort(key=lambda m: m.qid)
         return WorkloadReport(self.policy.name, query_metrics,
                               batch_metrics)
-
-    def _measure_solo(self, db: Database, plan: QueryPlan) -> MeasuredResult:
-        """One plan's cold typed measurement over the shared engine.
-
-        Runs against a *fresh* memory system swapped in for the
-        duration (the engine's own clock and cache state stay
-        untouched, exactly as trace recording + replay guaranteed),
-        with base columns restored so every batch member observes the
-        same base state."""
-        real = db.mem
-        db.mem = MemorySystem(self.session.hierarchy)
-        try:
-            with _restored_columns(db), \
-                    db.execution_scope(self.session.config.execution):
-                return measure_plan(db, plan, self.session.model,
-                                    pipeline=self.session.config.pipeline,
-                                    cold=False,  # the swapped-in system
-                                                 # is already cold
-                                    signature=plan_signature(plan.root))
-        finally:
-            db.mem = real

@@ -16,12 +16,25 @@ from ..query.observe import OperatorMeasurement
 __all__ = ["percentile", "QueryMetrics", "BatchMetrics", "WorkloadReport"]
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (0–100) with linear interpolation."""
-    if not values:
-        raise ValueError("percentile of an empty sequence")
+#: Sentinel distinguishing "no empty-sample default supplied" from an
+#: explicit ``empty=None``.
+_RAISE = object()
+
+
+def percentile(values: Sequence[float], q: float, empty=_RAISE) -> float:
+    """The ``q``-th percentile (0–100) with linear interpolation.
+
+    Edge cases are explicit: an empty sample raises :class:`ValueError`
+    unless ``empty`` supplies a return value for it (sliding SLO
+    windows pass ``empty=None`` — a window with no completions has no
+    percentile, which is not an error), and a single sample is its own
+    ``q``-th percentile for every ``q`` including 0 and 100."""
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
+    if not values:
+        if empty is _RAISE:
+            raise ValueError("percentile of an empty sequence")
+        return empty
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -143,6 +156,10 @@ class WorkloadReport:
         return self.latency_percentile(95.0)
 
     @property
+    def p99_latency_ns(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
     def cache_hits(self) -> int:
         return sum(1 for q in self.queries if q.cache_hit)
 
@@ -167,6 +184,7 @@ class WorkloadReport:
             "throughput_qps": self.throughput_qps,
             "p50_latency_ns": self.p50_latency_ns,
             "p95_latency_ns": self.p95_latency_ns,
+            "p99_latency_ns": self.p99_latency_ns,
             "cache_hits": self.cache_hits,
             "mean_contention_error": self.mean_contention_error,
             "queries": [q.to_json() for q in self.queries],
@@ -183,7 +201,8 @@ class WorkloadReport:
             f"  makespan   {self.makespan_ns / 1e6:>10.2f} ms   "
             f"throughput {self.throughput_qps:>8.1f} q/s",
             f"  latency    p50 {self.p50_latency_ns / 1e6:>8.2f} ms   "
-            f"p95 {self.p95_latency_ns / 1e6:>8.2f} ms",
+            f"p95 {self.p95_latency_ns / 1e6:>8.2f} ms   "
+            f"p99 {self.p99_latency_ns / 1e6:>8.2f} ms",
             f"  plan cache {self.cache_hits}/{len(q)} hits   "
             f"⊙ vs simulator error "
             f"{self.mean_contention_error * 100:>5.1f}% "

@@ -17,13 +17,14 @@ different policy) meaningful.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping, Sequence
 
 from ..db.datagen import grouped_keys, random_permutation
 from ..session import Session
 
-__all__ = ["WorkloadQuery", "WorkloadGenerator", "KINDS"]
+__all__ = ["WorkloadQuery", "WorkloadGenerator", "KINDS",
+           "poisson_gaps", "stamp_arrivals"]
 
 #: The query template families a workload mixes.
 KINDS = ("point", "scan", "join", "aggregate", "join_aggregate")
@@ -62,12 +63,43 @@ OUT_OF_CORE_MIX: Mapping[str, float] = {
 @dataclass(frozen=True)
 class WorkloadQuery:
     """One queued client query: arrival order ``qid``, issuing
-    ``client``, template family ``kind``, and its text-frontend form."""
+    ``client``, template family ``kind``, its text-frontend form, and
+    its open-loop arrival time on the simulated clock (0 for closed
+    batches, where every query is present at the start)."""
 
     qid: int
     client: int
     kind: str
     text: str
+    arrival_ns: float = 0.0
+
+
+def poisson_gaps(rng: random.Random, rate_qps: float) -> Iterable[float]:
+    """Endless exponential inter-arrival gaps (simulated ns) of an
+    open-loop Poisson process with mean rate ``rate_qps`` queries per
+    simulated second — the one arrival definition offline replay and
+    the live server share."""
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+    mean_gap_ns = 1e9 / rate_qps
+    while True:
+        yield rng.expovariate(1.0 / mean_gap_ns)
+
+
+def stamp_arrivals(queries: Sequence[WorkloadQuery],
+                   gaps: Iterable[float]) -> list[WorkloadQuery]:
+    """The same stream with cumulative arrival timestamps drawn from
+    ``gaps`` (the first query arrives after the first gap)."""
+    out: list[WorkloadQuery] = []
+    clock = 0.0
+    for query, gap in zip(queries, gaps):
+        if gap < 0:
+            raise ValueError("arrival gaps must be non-negative")
+        clock += gap
+        out.append(replace(query, arrival_ns=clock))
+    if len(out) != len(queries):
+        raise ValueError("gaps exhausted before the stream ended")
+    return out
 
 
 class WorkloadGenerator:
@@ -174,11 +206,18 @@ class WorkloadGenerator:
         raise ValueError(f"unknown workload kind {kind!r}")
 
     # ------------------------------------------------------------------
-    def generate(self, n_queries: int, clients: int = 4
-                 ) -> list[WorkloadQuery]:
+    def generate(self, n_queries: int, clients: int = 4,
+                 rate_qps: float | None = None) -> list[WorkloadQuery]:
         """``n_queries`` queries in arrival order, dealt round-robin to
         ``clients`` clients, kinds drawn from the mix — deterministic in
-        ``(seed, scale, mix, n_queries, clients)``."""
+        ``(seed, scale, mix, n_queries, clients, rate_qps)``.
+
+        With ``rate_qps`` the stream carries open-loop Poisson arrival
+        timestamps at that mean rate (queries per simulated second),
+        drawn from the same seeded generator as the stream itself —
+        offline replay and the live server consume one and the same
+        workload definition.  Without it every ``arrival_ns`` is 0 (a
+        closed batch)."""
         if n_queries < 1:
             raise ValueError("n_queries must be positive")
         if clients < 1:
@@ -195,4 +234,6 @@ class WorkloadGenerator:
             text = rng.choice(self._templates(kind))
             out.append(WorkloadQuery(qid=qid, client=qid % clients,
                                      kind=kind, text=text))
+        if rate_qps is not None:
+            out = stamp_arrivals(out, poisson_gaps(rng, rate_qps))
         return out

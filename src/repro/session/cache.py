@@ -13,9 +13,10 @@ every cached plan without any explicit invalidation walk.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Hashable
+from typing import TYPE_CHECKING, Callable, Hashable
 
 from ..db.column import Column
 from ..query.logical import LogicalOp
@@ -42,6 +43,14 @@ class PlanCache:
     column and predicate callable alive — so the ``id()``-based tokens
     inside canonical keys (:func:`repro.query.logical.callable_key`)
     stay unambiguous for exactly as long as their entry lives.
+
+    The cache is thread-safe: spawned client sessions
+    (:meth:`~repro.session.Session.spawn`) share one instance across
+    worker threads, so every entry/counter mutation happens under one
+    lock, and :meth:`get_or_compute` additionally gates compilation
+    per key — when several threads miss the same key at once, exactly
+    one runs the compile while the rest wait for its result, so
+    concurrent clients never duplicate (or lose) a compilation.
     """
 
     def __init__(self, max_entries: int = 128) -> None:
@@ -49,41 +58,100 @@ class PlanCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: OrderedDict[Hashable, PlannedQuery] = OrderedDict()
+        self._lock = threading.Lock()
+        #: Per-key in-flight compile gates (key -> Event set when the
+        #: owning thread has published its result).
+        self._inflight: dict[Hashable, threading.Event] = {}
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> PlannedQuery | None:
         """The cached plan for ``key``, or ``None`` (counts a miss)."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: PlannedQuery) -> None:
         """Store a compiled plan, evicting the least recently used
         entry beyond ``max_entries``."""
+        with self._lock:
+            self._put_locked(key, value)
+
+    def _put_locked(self, key: Hashable, value: PlannedQuery) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
 
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], PlannedQuery]
+                       ) -> tuple[PlannedQuery, bool]:
+        """The cached plan for ``key``, compiling it via ``compute``
+        on a miss; returns ``(plan, was_hit)``.
+
+        Concurrency contract: for each key at most one thread runs
+        ``compute`` at a time — contenders block on the owner's gate
+        and then re-read the published entry (counted as a hit: they
+        were served a plan they did not compile).  If the owner's
+        ``compute`` raises, its waiters retry, so a failed compile
+        never wedges the key.
+        """
+        while True:
+            with self._lock:
+                try:
+                    value = self._entries[key]
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return value, True
+                except KeyError:
+                    pass
+                gate = self._inflight.get(key)
+                if gate is None:
+                    gate = threading.Event()
+                    self._inflight[key] = gate
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                gate.wait()
+                continue  # re-read: owner published (or failed)
+            try:
+                value = compute()
+            except BaseException:
+                with self._lock:
+                    del self._inflight[key]
+                gate.set()
+                raise
+            with self._lock:
+                self.misses += 1
+                self._put_locked(key, value)
+                del self._inflight[key]
+            gate.set()
+            return value, False
+
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def stats(self) -> dict[str, int]:
-        return {"entries": len(self._entries),
-                "hits": self.hits, "misses": self.misses}
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "hits": self.hits, "misses": self.misses}
 
 
 class PreparedStatement:

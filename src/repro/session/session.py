@@ -270,20 +270,29 @@ class Session:
         """Enumerate/rank plans through the profile-keyed plan cache.
 
         Sets :attr:`last_compile_cached` to whether the plan came from
-        the cache (hit) or was enumerated by this call (miss)."""
+        the cache (hit) or was enumerated by this call (miss).
+
+        Safe to call from concurrent spawned sessions sharing one
+        :class:`PlanCache`: the cache's per-key compile gating
+        (:meth:`PlanCache.get_or_compute`) guarantees a key is
+        enumerated by exactly one thread, with contenders served the
+        published plan.  Per-session state (provenance flag, hit/miss
+        counters) is only ever touched by the session's own thread —
+        the one-session-per-client spawn discipline."""
         self._sync_profile()
         logical = self.as_logical(q)
-        # One key derivation per compile: get/put here instead of
-        # passing the cache into optimize (which would re-derive it).
+        # One key derivation per compile: get_or_compute here instead
+        # of passing the cache into optimize (which would re-derive it).
         key = self.optimizer.cache_key(logical)
-        planned = self.plan_cache.get(key)
-        self.last_compile_cached = planned is not None
-        if planned is None:
-            self.compile_misses += 1
-            planned = self.optimizer.optimize(logical)
-            self.plan_cache.put(key, planned)
-        else:
+        optimizer = self.optimizer  # pinned: a sibling's profile
+        #                             switch must not retarget mid-call
+        planned, hit = self.plan_cache.get_or_compute(
+            key, lambda: optimizer.optimize(logical))
+        self.last_compile_cached = hit
+        if hit:
             self.compile_hits += 1
+        else:
+            self.compile_misses += 1
         return planned
 
     def prepare(self, q) -> PreparedStatement:

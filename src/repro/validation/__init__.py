@@ -3,6 +3,7 @@
 from .bench_schema import (
     payload_from_experiment,
     payload_from_results,
+    payload_from_serving,
     validate_bench_file,
     validate_bench_payload,
     validate_results_dir,
@@ -39,4 +40,5 @@ __all__ = [
     "validate_results_dir",
     "payload_from_results",
     "payload_from_experiment",
+    "payload_from_serving",
 ]

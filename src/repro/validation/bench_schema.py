@@ -32,6 +32,7 @@ __all__ = [
     "validate_results_dir",
     "payload_from_results",
     "payload_from_experiment",
+    "payload_from_serving",
 ]
 
 
@@ -128,6 +129,47 @@ def payload_from_results(name: str, entries, tolerance: float,
         if include_results:
             point["result"] = measured.to_json()
         series.append(point)
+    errors = [point["error"] for point in series]
+    return {
+        "kind": "bench",
+        "bench": name,
+        "sizes": [size for size, _ in entries],
+        "series": series,
+        "band": {"tolerance": tolerance,
+                 "max_error": max(errors) if errors else None},
+    }
+
+
+def payload_from_serving(name: str, entries, tolerance: float,
+                         include_responses: bool = False) -> dict:
+    """A bench payload from serving runs.
+
+    ``entries`` is a list of ``(size, ServingReport)`` pairs
+    (:class:`repro.server.ServingReport`) — ``size`` is whatever the
+    bench swept (client count, arrival rate, policy label).  The series
+    carries the ⊙-predicted vs replay-measured busy time (summed batch
+    makespans) with the report's mean co-run contention error, plus the
+    serving headline (sustained q/s, latency percentiles, shed count)
+    per point.  Responses are bulky and off by default; batches always
+    ride along (they are the predicted-vs-measured evidence)."""
+    series = []
+    for size, report in entries:
+        detail = report.to_json()
+        if not include_responses:
+            detail.pop("responses")
+        series.append({
+            "size": size,
+            "predicted_ns": report.predicted_makespan_ns,
+            "measured_ns": report.measured_makespan_ns,
+            "error": report.mean_contention_error,
+            "sustained_qps": report.sustained_qps,
+            "p50_latency_ns": report.p50_latency_ns,
+            "p95_latency_ns": report.p95_latency_ns,
+            "p99_latency_ns": report.p99_latency_ns,
+            "completed": len(report.completed),
+            "shed": len(report.shed),
+            "detail": detail,
+        })
     errors = [point["error"] for point in series]
     return {
         "kind": "bench",

@@ -1,0 +1,173 @@
+"""Concurrent compilation through the shared PlanCache: the per-key
+compile gate must hand every contender the same published plan, with
+the compile function invoked exactly once per key — under raw
+``get_or_compute`` hammering and through real spawned sessions."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.query.optimizer import Optimizer
+from repro.session import PlanCache, Session
+
+THREADS = 8
+
+
+def _hammer(fn, workers=THREADS, rounds=1):
+    """Run ``fn(worker, round)`` on every worker thread at once, after a
+    barrier, and return all results."""
+    barrier = threading.Barrier(workers)
+
+    def run(worker):
+        barrier.wait()
+        return [fn(worker, r) for r in range(rounds)]
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run, range(workers)))
+
+
+class TestGetOrComputeGate:
+    def test_single_key_compiles_exactly_once(self):
+        cache = PlanCache()
+        calls = []
+
+        def compute():
+            calls.append(threading.get_ident())
+            time.sleep(0.01)  # widen the race window
+            return object()
+
+        results = _hammer(
+            lambda w, r: cache.get_or_compute("k", compute))
+        values = {id(value) for rows in results for value, _ in rows}
+        assert len(calls) == 1, "compute ran more than once"
+        assert len(values) == 1, "contenders saw different plans"
+        hits = [hit for rows in results for _, hit in rows]
+        assert hits.count(False) == 1  # exactly one owner
+        assert cache.misses == 1
+        assert cache.hits >= THREADS - 1
+
+    def test_distinct_keys_compile_independently(self):
+        cache = PlanCache()
+        counts = {w: 0 for w in range(THREADS)}
+        lock = threading.Lock()
+
+        def make(worker):
+            def compute():
+                with lock:
+                    counts[worker] += 1
+                return ("plan", worker)
+            return compute
+
+        results = _hammer(
+            lambda w, r: cache.get_or_compute(w, make(w)))
+        for worker, rows in enumerate(results):
+            assert rows[0][0] == ("plan", worker)
+        assert all(count == 1 for count in counts.values())
+        assert cache.misses == THREADS
+
+    def test_failed_compile_releases_the_gate(self):
+        cache = PlanCache()
+        attempts = []
+
+        def compute():
+            attempts.append(None)
+            if len(attempts) == 1:
+                raise RuntimeError("flaky planner")
+            return "ok"
+
+        def one(worker, r):
+            try:
+                return cache.get_or_compute("k", compute)
+            except RuntimeError:
+                # loser of the first round retries on a released gate
+                return cache.get_or_compute("k", compute)
+
+        results = _hammer(one, workers=4)
+        assert all(rows[0][0] == "ok" for rows in results)
+        assert "k" in cache
+
+    def test_eviction_race_keeps_the_bound(self):
+        cache = PlanCache(max_entries=4)
+        _hammer(lambda w, r: cache.get_or_compute(
+            (w, r), lambda: object()), workers=THREADS, rounds=32)
+        assert len(cache) <= 4
+        assert cache.misses == THREADS * 32
+
+    def test_capacity_one_thrashes_without_deadlock(self):
+        cache = PlanCache(max_entries=1)
+        # two keys fighting over one slot: every round may evict the
+        # other key mid-flight; the gate must neither deadlock nor
+        # publish a foreign plan under the wrong key
+        results = _hammer(
+            lambda w, r: (w % 2,
+                          cache.get_or_compute(w % 2,
+                                               lambda: ("plan", w % 2))),
+            workers=4, rounds=16)
+        for rows in results:
+            for key, (value, _) in rows:
+                assert value == ("plan", key)
+        assert len(cache) == 1
+
+
+class TestConcurrentSpawnedSessions:
+    @pytest.fixture()
+    def counted_optimize(self, monkeypatch):
+        """Count real Optimizer.optimize invocations (across every
+        spawned session's own optimizer instance)."""
+        calls = []
+        original = Optimizer.optimize
+
+        def counting(self, logical):
+            calls.append(threading.get_ident())
+            return original(self, logical)
+
+        monkeypatch.setattr(Optimizer, "optimize", counting)
+        return calls
+
+    def _root(self):
+        session = Session()
+        session.create_table("t", list(range(256)))
+        session.predicate("small", lambda v: v < 10)
+        return session
+
+    def test_shared_cache_compiles_each_text_once(self,
+                                                  counted_optimize):
+        root = self._root()
+        texts = [f"filter(t, small, sel={0.1 * (i + 1):.1f})"
+                 for i in range(4)]
+        sessions = {}
+
+        def compile_all(worker, r):
+            ident = threading.get_ident()
+            client = sessions.setdefault(ident, root.spawn())
+            return [id(client.compile(text)) for text in texts]
+
+        results = _hammer(compile_all, workers=THREADS, rounds=4)
+        # every thread, every round, got the identical PlannedQuery
+        for text_index in range(len(texts)):
+            ids = {rows[r][text_index] for rows in results
+                   for r in range(len(rows))}
+            assert len(ids) == 1, "a compilation was duplicated or lost"
+        assert len(counted_optimize) == len(texts)
+        assert root.plan_cache.misses == len(texts)
+        expected = THREADS * 4 * len(texts) - len(texts)
+        assert root.plan_cache.hits == expected
+
+    def test_provenance_stays_per_session(self, counted_optimize):
+        root = self._root()
+        text = "filter(t, small, sel=0.5)"
+        flags = {}
+
+        def one(worker, r):
+            client = root.spawn()
+            client.compile(text)
+            flags[worker] = (client.last_compile_cached,
+                             client.compile_hits + client.compile_misses)
+
+        _hammer(one, workers=4)
+        # exactly one session owned the miss; each counted only itself
+        assert sum(1 for hit, _ in flags.values() if not hit) == 1
+        assert all(total == 1 for _, total in flags.values())
+        assert len(counted_optimize) == 1

@@ -16,6 +16,11 @@ from repro.service import (
     percentile,
 )
 from repro.service.executor import record_trace, replay_interleaved
+from repro.service.workload import (
+    WorkloadQuery,
+    poisson_gaps,
+    stamp_arrivals,
+)
 from repro.session import Session
 
 
@@ -294,3 +299,61 @@ class TestMetrics:
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile(values, 101)
+    def test_percentile_edge_cases(self):
+        # empty: raises by default, returns the supplied default when
+        # one is given (including an explicit None)
+        assert percentile([], 50, empty=None) is None
+        assert percentile([], 99, empty=0.0) == 0.0
+        # q is validated before the empty check
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([], 101, empty=None)
+        # a single sample is its own percentile at every q
+        for q in (0, 50, 99, 100):
+            assert percentile([3.5], q) == 3.5
+
+    def test_p99_tracks_the_tail(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 99) > percentile(values, 95)
+        assert percentile(values, 99) <= percentile(values, 100)
+
+    def test_report_exposes_p99(self, small_service):
+        session, gen = small_service
+        report = ServiceExecutor(session, MaxParallelPolicy(4)).run(
+            gen.generate(8, clients=2))
+        assert report.p95_latency_ns <= report.p99_latency_ns
+        assert report.p99_latency_ns <= report.makespan_ns * (1 + 1e-9)
+        assert report.to_json()["p99_latency_ns"] == report.p99_latency_ns
+        assert "p99" in report.render()
+
+
+class TestArrivalStamps:
+    def test_poisson_gaps_validation(self):
+        import random as _random
+        with pytest.raises(ValueError, match="rate_qps"):
+            next(iter(poisson_gaps(_random.Random(0), 0.0)))
+
+    def test_stamp_arrivals_is_cumulative(self):
+        queries = [WorkloadQuery(qid=i, client=0, kind="scan",
+                                 text=f"q{i}") for i in range(4)]
+        stamped = stamp_arrivals(queries, iter([5.0, 1.0, 2.0, 0.0]))
+        assert [q.arrival_ns for q in stamped] == [5.0, 6.0, 8.0, 8.0]
+        # the originals are untouched (streams are replayable)
+        assert all(q.arrival_ns == 0.0 for q in queries)
+        with pytest.raises(ValueError, match="non-negative"):
+            stamp_arrivals(queries, iter([1.0, -2.0, 3.0, 4.0]))
+        with pytest.raises(ValueError, match="exhausted"):
+            stamp_arrivals(queries, iter([1.0, 2.0]))
+
+    def test_generate_with_rate_stamps_arrivals(self, small_service):
+        _, gen = small_service
+        stamped = gen.generate(16, clients=2, rate_qps=1000.0)
+        arrivals = [q.arrival_ns for q in stamped]
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+        assert arrivals[0] > 0
+        # deterministic, and a rate-free stream stays unstamped
+        again = gen.generate(16, clients=2, rate_qps=1000.0)
+        assert [q.arrival_ns for q in again] == arrivals
+        plain = gen.generate(16, clients=2)
+        assert all(q.arrival_ns == 0.0 for q in plain)
+        # same queries either way: the rate only adds timestamps
+        assert [q.text for q in plain] == [q.text for q in stamped]
