@@ -19,6 +19,9 @@ The package provides:
 * :mod:`repro.validation` — the model-vs-measurement experiment harness.
 * :mod:`repro.server` — an asyncio multi-tenant query server serving
   open-loop traffic with ⊙-guided admission control and SLO tracking.
+* :mod:`repro.obs` — dual-clock tracing spans (Chrome ``trace_event``
+  export), a labeled metrics registry (Prometheus exposition), and an
+  EWMA predicted-vs-measured drift monitor.
 """
 
 from .hardware import (
@@ -32,7 +35,7 @@ from .hardware import (
 )
 from .simulator import MemorySystem
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 
 def __getattr__(name):
@@ -44,12 +47,16 @@ def __getattr__(name):
     if name == "QueryServer":
         from .server import QueryServer
         return QueryServer
+    if name == "Tracer":
+        from .obs import Tracer
+        return Tracer
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "Session",
     "QueryServer",
+    "Tracer",
     "CacheLevel",
     "MemoryHierarchy",
     "MemorySystem",

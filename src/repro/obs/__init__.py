@@ -1,0 +1,67 @@
+"""Observability layer: dual-clock tracing, metrics, drift monitoring.
+
+Three sensors behind one opt-in handle (``QueryServer(tracer=...)`` /
+``Session(tracer=...)``):
+
+* :class:`Tracer` — dual-clock spans (simulated + wall) over the query
+  lifecycle with Chrome ``trace_event`` export and a JSONL event log.
+* :class:`MetricsRegistry` — labeled counters/gauges/histograms with
+  Prometheus-style text exposition; :class:`BucketedHistogram` gives
+  O(1) observes and bounded memory.
+* :class:`DriftMonitor` — EWMA of per-operator predicted-vs-measured
+  relative error, emitting :class:`DriftEvent` when a series leaves
+  the validation tolerance band.
+
+All simulated-clock output is deterministic in the workload; schemas
+for every artifact live in :mod:`repro.obs.schema`.
+"""
+
+from .drift import (
+    DEFAULT_ALPHA,
+    DEFAULT_BAND,
+    DEFAULT_MIN_SAMPLES,
+    DriftEvent,
+    DriftMonitor,
+    DriftSeries,
+)
+from .metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    BucketedHistogram,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .schema import (
+    validate_chrome_trace,
+    validate_event,
+    validate_events_file,
+    validate_metrics_json,
+    validate_trace_file,
+)
+from .trace import CLOCKS, SIM_PID, WALL_PID, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "CLOCKS",
+    "SIM_PID",
+    "WALL_PID",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "BucketedHistogram",
+    "DEFAULT_BUCKET_BOUNDS",
+    "DriftMonitor",
+    "DriftEvent",
+    "DriftSeries",
+    "DEFAULT_BAND",
+    "DEFAULT_ALPHA",
+    "DEFAULT_MIN_SAMPLES",
+    "validate_chrome_trace",
+    "validate_trace_file",
+    "validate_metrics_json",
+    "validate_event",
+    "validate_events_file",
+]

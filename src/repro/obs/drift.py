@@ -1,0 +1,172 @@
+"""EWMA drift monitoring of per-operator predicted-vs-measured error.
+
+Every measured execution streams one sample per operator — the model's
+state-threaded attribution next to the simulator's exclusive counter
+delta (:class:`~repro.query.OperatorMeasurement`).  The
+:class:`DriftMonitor` folds those samples into an exponentially
+weighted moving average of the *signed* relative error per
+``(operator, profile fingerprint)`` series, and emits a structured
+:class:`DriftEvent` when a series' EWMA leaves the tolerance band the
+validation suites hold the model to (0.35 by default).
+
+Signed error ``(measured − predicted) / measured`` keeps the direction:
+a positive EWMA is the model *underpredicting* (the known small-n
+permutation-join overshoot, ``tests/test_known_gaps.py``), a negative
+one overpredicting.  Events fire on the band *transition* (re-armed
+once the series returns inside), so a persistently drifted operator
+yields one event per excursion, not one per query — the sensor stream
+ROADMAP item 3's online calibrator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DriftEvent", "DriftSeries", "DriftMonitor"]
+
+#: The model-vs-simulator tolerance the validation suites use for
+#: in-memory templates — the band a healthy operator's error stays in.
+DEFAULT_BAND = 0.35
+
+#: EWMA smoothing factor: ~3 samples to cross the band on a persistent
+#: gap, while a single outlier decays away.
+DEFAULT_ALPHA = 0.3
+
+#: Samples a series must accumulate before it may emit (one noisy
+#: first sample is not drift).
+DEFAULT_MIN_SAMPLES = 3
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One detected excursion of a series outside the band."""
+
+    at_ns: float
+    operator: str
+    fingerprint: str
+    #: The series EWMA of the signed relative error at detection.
+    ewma: float
+    #: The sample that tipped the series out.
+    sample_error: float
+    #: Samples folded into the series so far.
+    count: int
+    band: float
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "drift", "at_ns": self.at_ns,
+            "operator": self.operator, "fingerprint": self.fingerprint,
+            "ewma": self.ewma, "sample_error": self.sample_error,
+            "count": self.count, "band": self.band,
+        }
+
+
+class DriftSeries:
+    """Mutable EWMA state of one (operator, fingerprint) stream."""
+
+    __slots__ = ("operator", "fingerprint", "ewma", "count", "in_drift",
+                 "last_error")
+
+    def __init__(self, operator: str, fingerprint: str) -> None:
+        self.operator = operator
+        self.fingerprint = fingerprint
+        self.ewma = 0.0
+        self.count = 0
+        self.in_drift = False
+        self.last_error = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "operator": self.operator, "fingerprint": self.fingerprint,
+            "ewma": self.ewma, "count": self.count,
+            "in_drift": self.in_drift, "last_error": self.last_error,
+        }
+
+
+class DriftMonitor:
+    """Per-(operator, fingerprint) EWMA drift detection.
+
+    :meth:`observe` folds one per-operator sample in and returns the
+    :class:`DriftEvent` it caused, if any (also appended to
+    :attr:`events`).  Operators with no measured memory time are
+    skipped — a zero-access operator has no error to track.
+    """
+
+    def __init__(self, band: float = DEFAULT_BAND,
+                 alpha: float = DEFAULT_ALPHA,
+                 min_samples: int = DEFAULT_MIN_SAMPLES) -> None:
+        if not 0.0 < band:
+            raise ValueError("band must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if min_samples < 1:
+            raise ValueError("min_samples must be positive")
+        self.band = band
+        self.alpha = alpha
+        self.min_samples = min_samples
+        self.series: dict[tuple[str, str], DriftSeries] = {}
+        self.events: list[DriftEvent] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, operator: str, fingerprint: str,
+                predicted_ns: float, measured_ns: float,
+                at_ns: float = 0.0) -> DriftEvent | None:
+        """Fold one predicted-vs-measured sample into its series."""
+        if measured_ns <= 0:
+            return None
+        error = (measured_ns - predicted_ns) / measured_ns
+        key = (operator, fingerprint)
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = DriftSeries(operator, fingerprint)
+        series.count += 1
+        series.last_error = error
+        if series.count == 1:
+            series.ewma = error  # seed at the first sample, not at 0
+        else:
+            series.ewma += self.alpha * (error - series.ewma)
+        if abs(series.ewma) <= self.band:
+            series.in_drift = False  # back inside: re-arm
+            return None
+        if series.in_drift or series.count < self.min_samples:
+            return None
+        series.in_drift = True
+        event = DriftEvent(
+            at_ns=at_ns, operator=operator, fingerprint=fingerprint,
+            ewma=series.ewma, sample_error=error, count=series.count,
+            band=self.band)
+        self.events.append(event)
+        return event
+
+    def observe_result(self, measured, fingerprint: str,
+                       at_ns: float = 0.0) -> list[DriftEvent]:
+        """Fold every operator of a
+        :class:`~repro.query.MeasuredResult` in; returns the events
+        caused."""
+        caused = []
+        for op in measured.operators:
+            event = self.observe(op.operator, fingerprint,
+                                 op.predicted_memory_ns, op.measured_ns,
+                                 at_ns=at_ns)
+            if event is not None:
+                caused.append(event)
+        return caused
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every series' current EWMA state plus all emitted events."""
+        return {
+            "kind": "drift_monitor",
+            "band": self.band,
+            "alpha": self.alpha,
+            "min_samples": self.min_samples,
+            "series": [series.to_json() for _, series in
+                       sorted(self.series.items())],
+            "events": [event.to_json() for event in self.events],
+        }
+
+    def __repr__(self) -> str:
+        drifted = sum(1 for s in self.series.values() if s.in_drift)
+        return (f"DriftMonitor(band={self.band}, "
+                f"series={len(self.series)}, drifted={drifted}, "
+                f"events={len(self.events)})")

@@ -1,0 +1,433 @@
+"""Live metrics: labeled counters/gauges/histograms with Prometheus
+exposition.
+
+The serving stack runs on two clocks, and until now everything it knew
+about itself was end-of-run (``ServingReport``).  This module is the
+*live* half: a :class:`MetricsRegistry` of named metric families —
+:class:`Counter`, :class:`Gauge`, :class:`Histogram` — each fanned out
+into labeled series (tenant, template kind, policy, cache level), with
+Prometheus-style text exposition (:meth:`MetricsRegistry.expose`) and a
+JSON form (:meth:`MetricsRegistry.to_json`) for programmatic scrapes.
+
+Histograms are *bucketed*: :class:`BucketedHistogram` keeps per-bucket
+counts and sums over exponential (power-of-two) nanosecond bounds, so
+``observe`` is O(log B) and memory is bounded by the bucket count no
+matter how many samples stream through.  Percentile estimates
+interpolate over bucket *means* (count and sum per bucket), which makes
+a single-sample bucket exact and bounds the general error by one bucket
+width — the property the SLO sliding windows rely on when they swap
+their sort-per-percentile for this structure.  The structure is also
+*removable* (:meth:`BucketedHistogram.forget`), which is what lets a
+sliding window trim expired samples without rebuilding.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, insort
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS",
+    "BucketedHistogram",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram bucket upper bounds: powers of two from 1 ns to
+#: 2^63 ns, plus an implicit +Inf overflow bucket.  Exponential bounds
+#: give a constant *relative* resolution (a bucket's width is at most
+#: its lower edge), which is the right shape for latencies spanning
+#: many decades.
+DEFAULT_BUCKET_BOUNDS = tuple(float(2 ** k) for k in range(64))
+
+
+class BucketedHistogram:
+    """Counts and sums over fixed bucket bounds; O(log B) observe.
+
+    ``bounds`` are the buckets' inclusive upper edges (ascending); an
+    overflow bucket above the last bound is implicit.  Each bucket
+    keeps a count *and* a sum, so :meth:`percentile` can interpolate
+    over bucket means — exact when a bucket holds one distinct value,
+    within one bucket width otherwise.  :meth:`forget` removes a
+    previously observed value (sliding-window trimming); the histogram
+    never stores individual samples, so memory stays O(B).
+    """
+
+    __slots__ = ("bounds", "counts", "sums", "count", "total")
+
+    def __init__(self, bounds: tuple[float, ...] | None = None) -> None:
+        bounds = (DEFAULT_BUCKET_BOUNDS if bounds is None
+                  else tuple(sorted(float(b) for b in bounds)))
+        if not bounds:
+            raise ValueError("bounds must be non-empty")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.sums = [0.0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    # ------------------------------------------------------------------
+    def _index(self, value: float) -> int:
+        return bisect_left(self.bounds, value)
+
+    def observe(self, value: float) -> None:
+        i = self._index(value)
+        self.counts[i] += 1
+        self.sums[i] += value
+        self.count += 1
+        self.total += value
+
+    def forget(self, value: float) -> None:
+        """Remove one previously observed ``value`` (the sliding-window
+        trim operation).  Forgetting a value that was never observed
+        corrupts the distribution — callers own that pairing."""
+        i = self._index(value)
+        if self.counts[i] < 1:
+            raise ValueError(
+                f"forget({value!r}): bucket {i} is already empty")
+        self.counts[i] -= 1
+        self.sums[i] -= value
+        if self.counts[i] == 0:
+            self.sums[i] = 0.0  # don't let float dust accumulate
+        self.count -= 1
+        self.total -= value
+
+    def __len__(self) -> int:
+        return self.count
+
+    # ------------------------------------------------------------------
+    def bucket_span(self, value: float) -> tuple[float, float]:
+        """The (lower, upper) edges of the bucket holding ``value`` —
+        the resolution bound percentile estimates carry there."""
+        i = self._index(value)
+        lo = self.bounds[i - 1] if i > 0 else 0.0
+        hi = self.bounds[i] if i < len(self.bounds) else float("inf")
+        return lo, hi
+
+    def _value_at(self, position: int) -> float:
+        """The bucket mean standing in for the sample at sorted
+        ``position`` (0-based)."""
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n:
+                cumulative += n
+                if position < cumulative:
+                    return self.sums[i] / n
+        raise IndexError(f"position {position} >= count {self.count}")
+
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-th percentile (0–100) estimated from bucket means,
+        with the same linear-interpolation rank convention as
+        :func:`repro.service.metrics.percentile`; ``None`` when empty.
+        Exact for a bucket holding one distinct value, within one
+        bucket width in general, and monotone in ``q``."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if self.count == 0:
+            return None
+        if self.count == 1:
+            return self._value_at(0)
+        rank = (self.count - 1) * q / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, self.count - 1)
+        frac = rank - lo
+        low = self._value_at(lo)
+        if frac == 0.0 or hi == lo:
+            return low
+        return low * (1.0 - frac) + self._value_at(hi) * frac
+
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def nonzero_buckets(self) -> list[tuple[float, int, float]]:
+        """``(upper_edge, count, sum)`` for each occupied bucket."""
+        out = []
+        for i, n in enumerate(self.counts):
+            if n:
+                edge = (self.bounds[i] if i < len(self.bounds)
+                        else float("inf"))
+                out.append((edge, n, self.sums[i]))
+        return out
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative ``(le, count)`` rows over the
+        occupied prefix (always ends with the +Inf row)."""
+        rows = []
+        running = 0
+        last = 0
+        for i, n in enumerate(self.counts[:-1]):
+            running += n
+            if running != last or n:
+                rows.append((self.bounds[i], running))
+                last = running
+        rows.append((float("inf"), self.count))
+        return rows
+
+    def __repr__(self) -> str:
+        return (f"BucketedHistogram(count={self.count}, "
+                f"total={self.total:.1f}, buckets={len(self.bounds) + 1})")
+
+
+# ----------------------------------------------------------------------
+# metric families
+# ----------------------------------------------------------------------
+
+def _format_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+class _MetricFamily:
+    """One named metric fanned out into labeled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = ()) -> None:
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        #: labelvalues tuple -> series state; insertion order is first
+        #: touch, exposition sorts.
+        self._series: dict[tuple[str, ...], object] = {}
+        # Updates may come from worker threads (e.g. plan-cache
+        # observers fire from compile workers); reads are dispatcher-
+        # time and tolerate racing a concurrent update.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.labelnames)}, got {sorted(labels)}")
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _get(self, labels: dict[str, object]):
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = self._new_series()
+        return series
+
+    def _new_series(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels_of(self, key: tuple[str, ...]) -> dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+    def series(self) -> list[tuple[tuple[str, ...], object]]:
+        """All series, sorted by label values (deterministic scrape
+        order)."""
+        return sorted(self._series.items())
+
+    def _render_labels(self, key: tuple[str, ...]) -> str:
+        if not key:
+            return ""
+        inner = ",".join(
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.labelnames, key))
+        return "{" + inner + "}"
+
+
+class Counter(_MetricFamily):
+    """A monotonically increasing count per labeled series."""
+
+    kind = "counter"
+
+    def _new_series(self) -> list[float]:
+        return [0.0]
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._get(labels)[0] += amount
+
+    def value(self, **labels) -> float:
+        return self._get(labels)[0]
+
+    def expose(self) -> list[str]:
+        return [f"{self.name}{self._render_labels(key)} "
+                f"{_format_number(cell[0])}"
+                for key, cell in self.series()]
+
+    def to_json(self) -> list[dict]:
+        return [{"labels": self.labels_of(key), "value": cell[0]}
+                for key, cell in self.series()]
+
+
+class Gauge(_MetricFamily):
+    """A point-in-time value per labeled series (set, not accumulated)."""
+
+    kind = "gauge"
+
+    def _new_series(self) -> list[float]:
+        return [0.0]
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._get(labels)[0] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        with self._lock:
+            self._get(labels)[0] += amount
+
+    def value(self, **labels) -> float:
+        return self._get(labels)[0]
+
+    expose = Counter.expose
+    to_json = Counter.to_json
+
+
+class Histogram(_MetricFamily):
+    """A :class:`BucketedHistogram` per labeled series."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: tuple[str, ...] = (),
+                 bounds: tuple[float, ...] | None = None) -> None:
+        super().__init__(name, help, labelnames)
+        self.bounds = bounds
+
+    def _new_series(self) -> BucketedHistogram:
+        return BucketedHistogram(self.bounds)
+
+    def observe(self, value: float, **labels) -> None:
+        with self._lock:
+            self._get(labels).observe(value)
+
+    def histogram(self, **labels) -> BucketedHistogram:
+        return self._get(labels)
+
+    def percentile(self, q: float, **labels) -> float | None:
+        return self._get(labels).percentile(q)
+
+    def expose(self) -> list[str]:
+        lines = []
+        for key, hist in self.series():
+            base = self._render_labels(key)
+            for le, cumulative in hist.cumulative():
+                label = (base[:-1] + "," if base
+                         else "{") + f'le="{_format_number(le)}"' + "}"
+                lines.append(f"{self.name}_bucket{label} {cumulative}")
+            lines.append(f"{self.name}_sum{base} "
+                         f"{_format_number(hist.total)}")
+            lines.append(f"{self.name}_count{base} {hist.count}")
+        return lines
+
+    def to_json(self) -> list[dict]:
+        return [{
+            "labels": self.labels_of(key),
+            "count": hist.count,
+            "sum": hist.total,
+            "buckets": [[_format_number(le), n]
+                        for le, n, _ in hist.nonzero_buckets()],
+        } for key, hist in self.series()]
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+class MetricsRegistry:
+    """Named metric families, exposed as Prometheus text or JSON.
+
+    Registration is get-or-create: asking twice for the same name
+    returns the same family (so wiring code needs no globals), and
+    asking with a conflicting type or label set is an error — one name,
+    one meaning."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _MetricFamily] = {}
+        self._order: list[str] = []
+
+    # ------------------------------------------------------------------
+    def _register(self, cls, name: str, help: str,
+                  labelnames: tuple[str, ...], **kw):
+        family = self._families.get(name)
+        if family is not None:
+            if type(family) is not cls or \
+                    family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{family.kind} with labels {family.labelnames}")
+            return family
+        family = cls(name, help, tuple(labelnames), **kw)
+        self._families[name] = family
+        insort(self._order, name)
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  bounds: tuple[float, ...] | None = None) -> Histogram:
+        return self._register(Histogram, name, help, labelnames,
+                              bounds=bounds)
+
+    def get(self, name: str) -> _MetricFamily:
+        try:
+            return self._families[name]
+        except KeyError:
+            known = ", ".join(self._order) or "none registered"
+            raise KeyError(f"no metric {name!r} (known: {known})") \
+                from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # ------------------------------------------------------------------
+    def expose(self) -> str:
+        """Prometheus-style text exposition, families sorted by name,
+        series sorted by label values — a deterministic scrape."""
+        lines: list[str] = []
+        for name in self._order:
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            lines.extend(family.expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """The same scrape as a JSON-serializable dict (validated by
+        :func:`repro.obs.schema.validate_metrics_json`)."""
+        return {
+            "kind": "metrics",
+            "families": [{
+                "name": name,
+                "type": self._families[name].kind,
+                "help": self._families[name].help,
+                "series": self._families[name].to_json(),
+            } for name in self._order],
+        }
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({self._order})"

@@ -1,0 +1,231 @@
+"""Hand-rolled schemas for the observability artifacts.
+
+Same discipline as :mod:`repro.validation.bench_schema` (the toolchain
+carries no ``jsonschema``): each validator returns a list of
+human-readable problems, empty when the payload conforms.  Covered
+artifacts:
+
+* Chrome ``trace_event`` JSON (:func:`validate_chrome_trace`) — the
+  subset the :class:`~repro.obs.Tracer` emits: ``M`` metadata, ``X``
+  complete events, ``i`` instants, with consistent pids/tids.
+* The metrics scrape (:func:`validate_metrics_json`) — typed families
+  with labeled series.
+* JSONL event-log entries (:func:`validate_event`) — span and drift
+  records.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = [
+    "validate_chrome_trace",
+    "validate_trace_file",
+    "validate_metrics_json",
+    "validate_event",
+    "validate_events_file",
+]
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+
+def validate_chrome_trace(data) -> list[str]:
+    """All schema violations of one Chrome trace payload."""
+    if not isinstance(data, dict):
+        return ["trace is not a JSON object"]
+    problems: list[str] = []
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents must be a non-empty list"]
+    declared: set[tuple[int, int]] = set()
+    processes: set[int] = set()
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("M", "X", "i"):
+            problems.append(f"{where}.ph must be M, X, or i, got {ph!r}")
+            continue
+        if not _is_number(event.get("pid")):
+            problems.append(f"{where}.pid must be a number")
+            continue
+        if ph == "M":
+            name = event.get("name")
+            if name not in ("process_name", "thread_name",
+                            "thread_sort_index"):
+                problems.append(f"{where}: unknown metadata {name!r}")
+            if not isinstance(event.get("args"), dict):
+                problems.append(f"{where}.args must be an object")
+            processes.add(event["pid"])
+            if name in ("thread_name", "thread_sort_index"):
+                declared.add((event["pid"], event.get("tid")))
+            continue
+        # X / i events
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}.name must be a non-empty string")
+        if not _is_number(event.get("ts")):
+            problems.append(f"{where}.ts must be a number")
+        if event["pid"] not in processes:
+            problems.append(
+                f"{where}: pid {event['pid']} has no process_name")
+        if (event["pid"], event.get("tid")) not in declared:
+            problems.append(
+                f"{where}: tid {event.get('tid')!r} undeclared for "
+                f"pid {event['pid']}")
+        if ph == "X":
+            duration = event.get("dur")
+            if not _is_number(duration) or duration < 0:
+                problems.append(
+                    f"{where}.dur must be a non-negative number")
+        else:  # instant
+            if event.get("s") not in ("t", "p", "g"):
+                problems.append(f"{where}.s must be t, p, or g")
+    return problems
+
+
+def validate_trace_file(path) -> list[str]:
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    return validate_chrome_trace(data)
+
+
+# ----------------------------------------------------------------------
+# metrics scrape
+# ----------------------------------------------------------------------
+
+def validate_metrics_json(data) -> list[str]:
+    """All schema violations of one metrics scrape
+    (:meth:`~repro.obs.MetricsRegistry.to_json`)."""
+    if not isinstance(data, dict):
+        return ["scrape is not a JSON object"]
+    problems: list[str] = []
+    if data.get("kind") != "metrics":
+        problems.append(
+            f"kind must be 'metrics', got {data.get('kind')!r}")
+    families = data.get("families")
+    if not isinstance(families, list):
+        return problems + ["families must be a list"]
+    for f_index, family in enumerate(families):
+        where = f"families[{f_index}]"
+        if not isinstance(family, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if not isinstance(family.get("name"), str) or not family["name"]:
+            problems.append(f"{where}.name must be a non-empty string")
+        kind = family.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            problems.append(
+                f"{where}.type must be counter/gauge/histogram, "
+                f"got {kind!r}")
+            continue
+        series = family.get("series")
+        if not isinstance(series, list):
+            problems.append(f"{where}.series must be a list")
+            continue
+        for s_index, entry in enumerate(series):
+            s_where = f"{where}.series[{s_index}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{s_where} is not an object")
+                continue
+            labels = entry.get("labels")
+            if not isinstance(labels, dict) or not all(
+                    isinstance(k, str) and isinstance(v, str)
+                    for k, v in labels.items()):
+                problems.append(
+                    f"{s_where}.labels must map strings to strings")
+            if kind == "histogram":
+                if not isinstance(entry.get("count"), int) \
+                        or entry["count"] < 0:
+                    problems.append(
+                        f"{s_where}.count must be a non-negative int")
+                if not _is_number(entry.get("sum")):
+                    problems.append(f"{s_where}.sum must be a number")
+                buckets = entry.get("buckets")
+                if not isinstance(buckets, list) or not all(
+                        isinstance(b, list) and len(b) == 2
+                        and isinstance(b[0], str) and isinstance(b[1], int)
+                        for b in buckets):
+                    problems.append(
+                        f"{s_where}.buckets must be [le, count] pairs")
+            else:
+                if not _is_number(entry.get("value")):
+                    problems.append(f"{s_where}.value must be a number")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# event log
+# ----------------------------------------------------------------------
+
+def validate_event(data) -> list[str]:
+    """All schema violations of one JSONL event-log entry (a span or a
+    drift event)."""
+    if not isinstance(data, dict):
+        return ["event is not a JSON object"]
+    kind = data.get("kind")
+    problems: list[str] = []
+    if kind == "span":
+        if not isinstance(data.get("sid"), int) or data["sid"] < 0:
+            problems.append("span.sid must be a non-negative int")
+        for key in ("name", "track"):
+            if not isinstance(data.get(key), str) or not data[key]:
+                problems.append(f"span.{key} must be a non-empty string")
+        for key in ("sim_start_ns", "sim_end_ns", "wall_start_ns",
+                    "wall_end_ns"):
+            value = data.get(key)
+            if value is not None and not _is_number(value):
+                problems.append(f"span.{key} must be a number or null")
+        if data.get("sim_start_ns") is None \
+                and data.get("wall_start_ns") is None:
+            problems.append("span must carry at least one clock")
+        start, end = data.get("sim_start_ns"), data.get("sim_end_ns")
+        if _is_number(start) and _is_number(end) and end < start:
+            problems.append("span simulated interval ends before start")
+        if not isinstance(data.get("attrs"), dict):
+            problems.append("span.attrs must be an object")
+    elif kind == "drift":
+        for key in ("operator", "fingerprint"):
+            if not isinstance(data.get(key), str):
+                problems.append(f"drift.{key} must be a string")
+        for key in ("at_ns", "ewma", "sample_error", "band"):
+            if not _is_number(data.get(key)):
+                problems.append(f"drift.{key} must be a number")
+        if not isinstance(data.get("count"), int) or data.get(
+                "count", 0) < 1:
+            problems.append("drift.count must be a positive int")
+    else:
+        problems.append(
+            f"event kind must be 'span' or 'drift', got {kind!r}")
+    return problems
+
+
+def validate_events_file(path) -> list[str]:
+    """Validate every line of a JSONL event log."""
+    try:
+        lines = pathlib.Path(path).read_text().splitlines()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    problems: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            problems.append(f"line {number}: empty")
+            continue
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"line {number}: not JSON ({exc})")
+            continue
+        problems.extend(f"line {number}: {problem}"
+                        for problem in validate_event(data))
+    return problems

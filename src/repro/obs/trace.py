@@ -1,0 +1,308 @@
+"""Dual-clock spans and Chrome ``trace_event`` export.
+
+The serving stack runs on two clocks — real threads compile and
+execute on the *wall* clock while every scheduling decision and
+latency lives on the *simulated* clock — so a span here carries both:
+an optional simulated interval and an optional wall interval
+(``perf_counter_ns``).  A :class:`Tracer` collects spans from the
+query lifecycle (arrival → queue → compile → execute → respond, plus
+per-operator children from :class:`~repro.query.MeasuredResult`
+attribution) and owns the other two sensors — a
+:class:`~repro.obs.MetricsRegistry` and a
+:class:`~repro.obs.DriftMonitor` — so a single ``tracer=`` argument
+opts a server or session into all three.
+
+Exports:
+
+* :meth:`Tracer.chrome_trace` — Chrome ``trace_event`` JSON (loads in
+  Perfetto / ``about://tracing``): one process per clock, one track
+  per tenant per clock.  The simulated-clock export is a pure function
+  of the workload, so it is byte-identical across same-seed runs —
+  the property the tracing bench pins.
+* :meth:`Tracer.write_events` — an append-style JSONL event log (every
+  span and drift event, one JSON object per line, both clocks).
+
+Span recording order is the caller's: the server records everything
+from its dispatcher in deterministic simulated-clock order, which is
+what makes the export reproducible even though compiles and batches
+genuinely race on the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from dataclasses import dataclass, field
+
+from .drift import DriftMonitor
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "CLOCKS"]
+
+#: Clock selectors for the Chrome export.
+CLOCKS = ("sim", "wall", "both")
+
+#: Synthetic process ids of the two clock timelines in the export.
+SIM_PID = 1
+WALL_PID = 2
+
+
+@dataclass
+class Span:
+    """One traced interval (or instant) on up to two clocks.
+
+    ``sim_start_ns``/``sim_end_ns`` are simulated nanoseconds;
+    ``wall_start_ns``/``wall_end_ns`` are ``perf_counter_ns`` stamps.
+    Either clock may be absent (``None``): a compile is an instant on
+    the simulated clock but an interval on the wall clock, a queue
+    wait the other way round.  ``parent`` is the enclosing span's
+    :attr:`sid`; ``track`` groups spans into export rows (one per
+    tenant, plus ``"server"`` for batches).
+    """
+
+    sid: int
+    name: str
+    track: str
+    category: str = ""
+    qid: int | None = None
+    parent: int | None = None
+    sim_start_ns: float | None = None
+    sim_end_ns: float | None = None
+    wall_start_ns: int | None = None
+    wall_end_ns: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def sim_duration_ns(self) -> float | None:
+        if self.sim_start_ns is None or self.sim_end_ns is None:
+            return None
+        return self.sim_end_ns - self.sim_start_ns
+
+    @property
+    def wall_duration_ns(self) -> int | None:
+        if self.wall_start_ns is None or self.wall_end_ns is None:
+            return None
+        return self.wall_end_ns - self.wall_start_ns
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "span", "sid": self.sid, "name": self.name,
+            "track": self.track, "category": self.category,
+            "qid": self.qid, "parent": self.parent,
+            "sim_start_ns": self.sim_start_ns,
+            "sim_end_ns": self.sim_end_ns,
+            "wall_start_ns": self.wall_start_ns,
+            "wall_end_ns": self.wall_end_ns,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Span collector plus the registry and drift monitor it feeds.
+
+    Everything is opt-in and inert until attached
+    (``QueryServer(tracer=...)`` / ``Session(tracer=...)``); an
+    unattached tracer costs nothing.  Span ids are allocated under a
+    lock so multi-threaded callers stay safe, but *ordering* is the
+    caller's contract — the server records from its single dispatcher,
+    in simulated-clock order.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 drift: DriftMonitor | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.drift = drift if drift is not None else DriftMonitor()
+        self.spans: list[Span] = []
+        #: Unified event log (span and drift dicts, recording order) —
+        #: what :meth:`write_events` serializes line by line.
+        self.log: list[dict] = []
+        self._lock = threading.Lock()
+        self._next_sid = 0
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, *, track: str, category: str = "",
+             qid: int | None = None, parent: int | None = None,
+             sim_start_ns: float | None = None,
+             sim_end_ns: float | None = None,
+             wall_start_ns: int | None = None,
+             wall_end_ns: int | None = None, **attrs) -> Span:
+        """Record one completed span (both clocks optional)."""
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
+            span = Span(sid=sid, name=name, track=track,
+                        category=category, qid=qid, parent=parent,
+                        sim_start_ns=sim_start_ns, sim_end_ns=sim_end_ns,
+                        wall_start_ns=wall_start_ns,
+                        wall_end_ns=wall_end_ns, attrs=attrs)
+            self.spans.append(span)
+            self.log.append(span.to_json())
+        return span
+
+    def instant(self, name: str, *, track: str, at_ns: float,
+                category: str = "", qid: int | None = None,
+                parent: int | None = None, **attrs) -> Span:
+        """A zero-duration simulated-clock marker."""
+        return self.span(name, track=track, category=category, qid=qid,
+                         parent=parent, sim_start_ns=at_ns,
+                         sim_end_ns=at_ns, **attrs)
+
+    def observe_drift(self, operator: str, fingerprint: str,
+                      predicted_ns: float, measured_ns: float,
+                      at_ns: float = 0.0):
+        """Feed one per-operator sample to the drift monitor, logging
+        any event it causes."""
+        event = self.drift.observe(operator, fingerprint, predicted_ns,
+                                   measured_ns, at_ns=at_ns)
+        if event is not None:
+            with self._lock:
+                self.log.append(event.to_json())
+        return event
+
+    def record_measured(self, measured, *, track: str,
+                        sim_start_ns: float, qid: int | None = None,
+                        parent: int | None = None,
+                        fingerprint: str | None = None) -> Span:
+        """Span-ify a :class:`~repro.query.MeasuredResult`: one
+        plan-level ``execute`` span starting at ``sim_start_ns`` with
+        one child per operator, partitioning it *exactly* (operator
+        boundaries are ``start + cumulative exclusive time``, and the
+        exclusive deltas sum exactly to the whole-plan counters — the
+        invariant the query layer already guarantees).  When
+        ``fingerprint`` is given, every operator sample also feeds the
+        drift monitor."""
+        start = sim_start_ns
+        cumulative = 0.0
+        edges = [0.0]
+        for op in measured.operators:
+            cumulative = cumulative + op.counters.elapsed_ns
+            edges.append(cumulative)
+        end = start + cumulative if measured.operators \
+            else start + measured.measured_ns
+        execute = self.span(
+            "execute", track=track, category="plan", qid=qid,
+            parent=parent, sim_start_ns=start, sim_end_ns=end,
+            signature=measured.signature,
+            predicted_ns=measured.predicted_ns,
+            measured_ns=measured.measured_ns,
+            error=measured.error,
+            operators=len(measured.operators))
+        for i, op in enumerate(measured.operators):
+            self.span(
+                op.operator, track=track, category="operator", qid=qid,
+                parent=execute.sid,
+                sim_start_ns=start + edges[i],
+                sim_end_ns=start + edges[i + 1],
+                predicted_ns=op.predicted_memory_ns,
+                measured_ns=op.measured_ns, spill=op.spill)
+            if fingerprint is not None:
+                self.observe_drift(op.operator, fingerprint,
+                                   op.predicted_memory_ns,
+                                   op.measured_ns, at_ns=end)
+        return execute
+
+    # -- export --------------------------------------------------------
+    def _tracks(self, clock: str) -> dict[str, int]:
+        """Track name -> tid, in first-seen span order (deterministic
+        for deterministic recording order)."""
+        tids: dict[str, int] = {}
+        for span in self.spans:
+            has = (span.sim_start_ns is not None if clock == "sim"
+                   else span.wall_start_ns is not None)
+            if has and span.track not in tids:
+                tids[span.track] = len(tids) + 1
+        return tids
+
+    def _wall_origin(self) -> int:
+        starts = [s.wall_start_ns for s in self.spans
+                  if s.wall_start_ns is not None]
+        return min(starts) if starts else 0
+
+    def chrome_trace(self, clock: str = "sim") -> dict:
+        """The span log as Chrome ``trace_event`` JSON (open in
+        Perfetto or ``about://tracing``).  ``clock`` selects the
+        simulated timeline, the wall timeline, or both (one synthetic
+        process per clock, one thread per track).  Timestamps are
+        microseconds per the format; the simulated export is
+        deterministic in the workload."""
+        if clock not in CLOCKS:
+            raise ValueError(f"unknown clock {clock!r} "
+                             f"(expected one of {CLOCKS})")
+        events: list[dict] = []
+
+        def emit_clock(which: str, pid: int, label: str) -> None:
+            tids = self._tracks(which)
+            if not tids:
+                return
+            origin = 0 if which == "sim" else self._wall_origin()
+            events.append({"ph": "M", "pid": pid, "tid": 0,
+                           "name": "process_name",
+                           "args": {"name": label}})
+            for track, tid in tids.items():
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_name",
+                               "args": {"name": track}})
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_sort_index",
+                               "args": {"sort_index": tid}})
+            for span in self.spans:
+                if which == "sim":
+                    if span.sim_start_ns is None:
+                        continue
+                    start, duration = span.sim_start_ns, \
+                        span.sim_duration_ns
+                else:
+                    if span.wall_start_ns is None:
+                        continue
+                    start = span.wall_start_ns - origin
+                    duration = span.wall_duration_ns
+                args = {"sid": span.sid, **span.attrs}
+                if span.qid is not None:
+                    args["qid"] = span.qid
+                if span.parent is not None:
+                    args["parent"] = span.parent
+                event = {"pid": pid, "tid": tids[span.track],
+                         "name": span.name, "cat": span.category or
+                         "span", "ts": start / 1e3, "args": args}
+                if duration:
+                    event["ph"] = "X"
+                    event["dur"] = duration / 1e3
+                else:
+                    event["ph"] = "i"
+                    event["s"] = "t"
+                events.append(event)
+
+        if clock in ("sim", "both"):
+            emit_clock("sim", SIM_PID, "simulated clock")
+        if clock in ("wall", "both"):
+            emit_clock("wall", WALL_PID, "wall clock")
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "otherData": {"clock": clock, "spans": len(self.spans)},
+        }
+
+    def write_chrome(self, path, clock: str = "sim") -> pathlib.Path:
+        """Serialize :meth:`chrome_trace` to ``path`` (compact,
+        key-sorted: the simulated export is byte-identical across
+        same-seed runs)."""
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(self.chrome_trace(clock),
+                                   sort_keys=True,
+                                   separators=(",", ":")) + "\n")
+        return path
+
+    def write_events(self, path) -> pathlib.Path:
+        """Serialize the unified event log (spans + drift events) as
+        JSON Lines, one object per line, in recording order."""
+        path = pathlib.Path(path)
+        with path.open("w") as handle:
+            for entry in self.log:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        return path
+
+    def __repr__(self) -> str:
+        return (f"Tracer(spans={len(self.spans)}, "
+                f"metrics={len(self.metrics)}, "
+                f"drift_events={len(self.drift.events)})")

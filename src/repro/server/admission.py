@@ -60,11 +60,20 @@ class ServerTask:
     #: Resolution slot the server attaches (an asyncio future-like);
     #: the controller never touches it.
     handle: object = field(default=None, repr=False, compare=False)
+    #: Wall-clock (``perf_counter_ns``) stamps around the compile, set
+    #: by the server's compile worker; the controller never reads them.
+    compile_wall_start_ns: int = 0
+    compile_wall_end_ns: int = 0
 
     @property
     def solo_total_ns(self) -> float:
         """Standalone completion time (Eq. 6.1: memory + CPU)."""
         return self.solo_memory_ns + self.cpu_ns
+
+    @property
+    def compile_wall_ns(self) -> int:
+        """Wall-clock nanoseconds the compile took."""
+        return self.compile_wall_end_ns - self.compile_wall_start_ns
 
 
 class AdmissionController:

@@ -32,16 +32,20 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from ..hardware.hierarchy import MemoryHierarchy
 from ..hardware.profiles import origin2000_scaled
+from ..obs import Tracer
 from ..query.optimizer import PlannerConfig, plan_signature
 from ..service.executor import (
     DEFAULT_QUANTUM,
+    BatchReplay,
     TraceRecorder,
     _restored_columns,
+    measure_solo,
     replay_interleaved,
 )
 from ..service.interference import InterferenceModel
@@ -74,6 +78,10 @@ class ServerResponse:
     batch_index: int | None = None
     batch_size: int | None = None
     signature: str = ""
+    #: Wall-clock nanoseconds the compile took (``None`` when shed
+    #: before compiling finished mattering).  Compiles are free on the
+    #: simulated clock — the machine's time never advances for them.
+    compile_wall_ns: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -99,6 +107,14 @@ class ServerResponse:
             "rows": self.rows, "cache_hit": self.cache_hit,
             "batch_index": self.batch_index,
             "batch_size": self.batch_size, "signature": self.signature,
+            "queue_ns": self.wait_ns,
+            # Where compile time went, per clock: real nanoseconds on
+            # the wall, zero on the simulated clock (compiles overlap
+            # the machine; scheduling waits for them but never charges
+            # them).  wall_ns varies run to run — strip it before
+            # comparing runs for determinism.
+            "compile_ns": {"wall_ns": self.compile_wall_ns,
+                           "simulated_ns": 0.0},
         }
 
 
@@ -246,6 +262,13 @@ class QueryServer:
         Objectives for the :class:`~repro.server.slo.SloTracker`.
     config:
         Planner config handed to every tenant session.
+    tracer:
+        Opt-in observability (:class:`~repro.obs.Tracer`): dual-clock
+        spans over the query lifecycle, live metrics (queries,
+        latencies, admission decisions, plan caches, per-level
+        simulator misses), and per-operator drift monitoring on
+        solo-batch executions.  ``None`` (the default) records
+        nothing.
     """
 
     def __init__(self, hierarchy: MemoryHierarchy | None = None, *,
@@ -256,7 +279,8 @@ class QueryServer:
                  slo: SloTarget | None = None,
                  tenant_slos: dict[str, SloTarget] | None = None,
                  slo_window_ns: float = DEFAULT_WINDOW_NS,
-                 config: PlannerConfig | None = None) -> None:
+                 config: PlannerConfig | None = None,
+                 tracer: Tracer | None = None) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be positive")
         self.hierarchy = (hierarchy if hierarchy is not None
@@ -287,6 +311,53 @@ class QueryServer:
         self._outstanding = 0
         self._machine_lock = threading.Lock()
         self._model_lock = threading.Lock()
+        # observability (all no-ops when tracer is None)
+        self.tracer = tracer
+        if tracer is not None:
+            m = tracer.metrics
+            self._m_queries = m.counter(
+                "server_queries_total",
+                "Queries resolved, by outcome.",
+                ("tenant", "kind", "outcome"))
+            self._m_latency = m.histogram(
+                "server_latency_ns",
+                "Simulated completion latency of served queries.",
+                ("tenant",))
+            self._m_queue_wait = m.histogram(
+                "server_queue_wait_ns",
+                "Simulated delay between arrival and batch start.",
+                ("tenant",))
+            self._m_admission = m.counter(
+                "server_admission_total",
+                "Admission-controller decisions.",
+                ("tenant", "decision"))
+            self._m_batches = m.counter(
+                "server_batches_total", "Batches executed.", ("policy",))
+            self._m_batch_size = m.histogram(
+                "server_batch_size", "Co-run batch sizes.",
+                bounds=tuple(float(n) for n in range(1, 33)))
+            self._m_clock = m.gauge(
+                "server_clock_ns", "The machine's simulated clock.")
+            self._m_depth = m.gauge(
+                "server_queue_depth",
+                "Run-queue depth after the last dispatch.")
+            self._m_level_hits = m.counter(
+                "sim_level_hits_total",
+                "Simulator per-level hits, sampled at batch "
+                "boundaries.", ("level",))
+            self._m_level_misses = m.counter(
+                "sim_level_misses_total",
+                "Simulator per-level misses, sampled at batch "
+                "boundaries.", ("level", "kind"))
+            self._m_cache_hits = m.counter(
+                "plan_cache_hits_total", "Plan-cache hits.", ("tenant",))
+            self._m_cache_misses = m.counter(
+                "plan_cache_misses_total", "Plan-cache misses.",
+                ("tenant",))
+            self._m_cache_retired = m.counter(
+                "plan_cache_retirements_total",
+                "Plans evicted from a tenant's cache (LRU).",
+                ("tenant",))
 
     # -- tenants -------------------------------------------------------
     def add_tenant(self, name: str, quota: TenantQuota | None = None
@@ -300,6 +371,16 @@ class QueryServer:
                         hierarchy=self.hierarchy, quota=quota,
                         config=self.config)
         self.tenants[name] = tenant
+        if self.tracer is not None:
+            counters = {"hit": self._m_cache_hits,
+                        "miss": self._m_cache_misses,
+                        "retire": self._m_cache_retired}
+
+            def _cache_event(event: str, count: int = 1,
+                             *, _tenant: str = name) -> None:
+                counters[event].inc(count, tenant=_tenant)
+
+            tenant.plan_cache.attach_observer(_cache_event)
         return tenant
 
     def tenant(self, name: str) -> Tenant:
@@ -439,6 +520,7 @@ class QueryServer:
                  arrival_ns: float) -> ServerTask:
         """Worker thread: compile through the tenant's (thread-safe)
         plan cache and price the standalone run."""
+        wall_start = time.perf_counter_ns()
         session = tenant.worker_session()
         planned = session.compile(text)
         plan = planned.plan
@@ -448,38 +530,61 @@ class QueryServer:
                           text=text, arrival_ns=arrival_ns, plan=plan,
                           solo_memory_ns=memory, cpu_ns=cpu,
                           cache_hit=session.last_compile_cached,
-                          signature=plan_signature(plan.root))
+                          signature=plan_signature(plan.root),
+                          compile_wall_start_ns=wall_start,
+                          compile_wall_end_ns=time.perf_counter_ns())
 
     def _execute_batch(self, batch: list[ServerTask], start_ns: float):
         """Worker thread: record each member's trace against its
         tenant's engine (shifted into the tenant's address slice) and
         replay the batch interleaved through one cold memory system on
-        the server's machine."""
+        the server's machine.
+
+        With a tracer attached, a *solo* batch takes the typed
+        measured path instead — one execution against a fresh cold
+        memory system, which yields the identical counters a
+        single-trace replay would (the out-of-core suite proves
+        replay == execution) *plus* per-operator attribution for
+        operator spans and drift monitoring.  Responses are identical
+        either way; only the observability gains detail.
+        """
+        wall_start = time.perf_counter_ns()
+        measured = None
         with self._machine_lock:
-            traces, rows = [], []
-            for task in batch:
-                tenant = self.tenants[task.tenant]
-                db = tenant.db
-                recorder = TraceRecorder()
-                real = db.mem
-                with _restored_columns(db):
-                    db.mem = recorder
-                    try:
-                        with db.execution_scope(
-                                tenant.session.config.execution):
-                            result = task.plan.execute(db)
-                    finally:
-                        db.mem = real
-                rows.append(len(result.values))
-                offset = tenant.address_offset
-                traces.append(
-                    [("range", e[1] + offset, e[2], e[3], e[4])
-                     if e[0] == "range" else (e[0] + offset, e[1])
-                     for e in recorder.trace] if offset
-                    else recorder.trace)
-            replay = replay_interleaved(self.hierarchy, traces,
-                                        quantum=self.quantum)
-        return replay, rows
+            if self.tracer is not None and len(batch) == 1:
+                tenant = self.tenants[batch[0].tenant]
+                measured = measure_solo(tenant.session, batch[0].plan)
+                elapsed = measured.counters.elapsed_ns
+                replay = BatchReplay(total_ns=elapsed,
+                                     memory_ns=(elapsed,),
+                                     finish_ns=(elapsed,),
+                                     counters=measured.counters)
+                rows = [len(measured.column.values)]
+            else:
+                traces, rows = [], []
+                for task in batch:
+                    tenant = self.tenants[task.tenant]
+                    db = tenant.db
+                    recorder = TraceRecorder()
+                    real = db.mem
+                    with _restored_columns(db):
+                        db.mem = recorder
+                        try:
+                            with db.execution_scope(
+                                    tenant.session.config.execution):
+                                result = task.plan.execute(db)
+                        finally:
+                            db.mem = real
+                    rows.append(len(result.values))
+                    offset = tenant.address_offset
+                    traces.append(
+                        [("range", e[1] + offset, e[2], e[3], e[4])
+                         if e[0] == "range" else (e[0] + offset, e[1])
+                         for e in recorder.trace] if offset
+                        else recorder.trace)
+                replay = replay_interleaved(self.hierarchy, traces,
+                                            quantum=self.quantum)
+        return replay, rows, measured, wall_start, time.perf_counter_ns()
 
     # -- dispatcher ----------------------------------------------------
     def _shed(self, task: ServerTask, at_ns: float) -> None:
@@ -491,8 +596,18 @@ class QueryServer:
             qid=task.qid, tenant=task.tenant, kind=task.kind,
             text=task.text, outcome="shed",
             arrival_ns=task.arrival_ns, start_ns=at_ns,
-            finish_ns=at_ns, signature=task.signature)
+            finish_ns=at_ns, signature=task.signature,
+            compile_wall_ns=task.compile_wall_ns)
         self._responses.append(response)
+        if self.tracer is not None:
+            self._m_queries.inc(tenant=task.tenant, kind=task.kind,
+                                outcome="shed")
+            self.tracer.span(
+                "query", track=f"tenant:{task.tenant}",
+                category="query", qid=task.qid,
+                sim_start_ns=task.arrival_ns, sim_end_ns=at_ns,
+                kind=task.kind, outcome="shed",
+                signature=task.signature)
         if task.handle is not None and not task.handle.done():
             task.handle.set_result(response)
         self._resolve_bookkeeping()
@@ -513,9 +628,99 @@ class QueryServer:
         for task in due:
             self._staged.remove(task)
             quota = self.tenants[task.tenant].quota
-            for victim in self.admission.offer(task, quota):
+            victims = self.admission.offer(task, quota)
+            if self.tracer is not None:
+                refused = any(victim is task for victim in victims)
+                self._m_admission.inc(
+                    tenant=task.tenant,
+                    decision="shed" if refused else "queued")
+                for victim in victims:
+                    if victim is not task:
+                        self._m_admission.inc(tenant=victim.tenant,
+                                              decision="displaced")
+            for victim in victims:
                 self._shed(victim,
                            victim.arrival_ns if victim is task else now_ns)
+
+    def _trace_batch(self, batch: list[ServerTask], now: float,
+                     index: int, finishes: list[float],
+                     makespan: float, replay: BatchReplay, measured,
+                     wall0: int, wall1: int) -> None:
+        """Record one executed batch's spans and metrics.  Called from
+        the dispatcher only, after the simulated clock advanced —
+        recording order (and therefore the simulated-clock export) is
+        a function of the workload, never of thread timing."""
+        tracer = self.tracer
+        tracer.span(
+            "batch", track="server", category="batch",
+            sim_start_ns=now, sim_end_ns=now + makespan,
+            wall_start_ns=wall0, wall_end_ns=wall1,
+            batch_index=index, size=len(batch),
+            policy=self.admission.mode, memory_ns=replay.total_ns)
+        for i, task in enumerate(batch):
+            track = f"tenant:{task.tenant}"
+            finish_abs = now + finishes[i]
+            root = tracer.span(
+                "query", track=track, category="query", qid=task.qid,
+                sim_start_ns=task.arrival_ns, sim_end_ns=finish_abs,
+                kind=task.kind, outcome="ok", batch_index=index,
+                batch_size=len(batch), cache_hit=task.cache_hit,
+                signature=task.signature)
+            tracer.span(
+                "queue", track=track, category="queue", qid=task.qid,
+                parent=root.sid, sim_start_ns=task.arrival_ns,
+                sim_end_ns=now)
+            # A compile is an instant on the simulated clock (the
+            # machine never pays for it) but an interval on the wall
+            # clock — the dual-clock case in one span.
+            tracer.span(
+                "compile", track=track, category="compile",
+                qid=task.qid, parent=root.sid,
+                sim_start_ns=task.arrival_ns,
+                sim_end_ns=task.arrival_ns,
+                wall_start_ns=task.compile_wall_start_ns,
+                wall_end_ns=task.compile_wall_end_ns,
+                cache_hit=task.cache_hit)
+            if measured is not None:
+                # solo batch: per-operator children + drift samples
+                tenant = self.tenants[task.tenant]
+                execute = tracer.record_measured(
+                    measured, track=track, sim_start_ns=now,
+                    qid=task.qid, parent=root.sid,
+                    fingerprint=tenant.session.fingerprint)
+                if finish_abs > execute.sim_end_ns:
+                    tracer.span(
+                        "cpu", track=track, category="cpu",
+                        qid=task.qid, parent=root.sid,
+                        sim_start_ns=execute.sim_end_ns,
+                        sim_end_ns=finish_abs, cpu_ns=task.cpu_ns)
+            else:
+                tracer.span(
+                    "execute", track=track, category="execute",
+                    qid=task.qid, parent=root.sid, sim_start_ns=now,
+                    sim_end_ns=finish_abs,
+                    memory_ns=replay.memory_ns[i], cpu_ns=task.cpu_ns)
+            tracer.instant("respond", track=track, at_ns=finish_abs,
+                           qid=task.qid, parent=root.sid)
+            self._m_queries.inc(tenant=task.tenant, kind=task.kind,
+                                outcome="ok")
+            self._m_admission.inc(tenant=task.tenant,
+                                  decision="admitted")
+            self._m_latency.observe(finish_abs - task.arrival_ns,
+                                    tenant=task.tenant)
+            self._m_queue_wait.observe(now - task.arrival_ns,
+                                       tenant=task.tenant)
+        self._m_batches.inc(policy=self.admission.mode)
+        self._m_batch_size.observe(float(len(batch)))
+        self._m_clock.set(self._clock)
+        self._m_depth.set(float(len(self.admission.queue)))
+        if replay.counters is not None:
+            for level in replay.counters.levels:
+                self._m_level_hits.inc(level.hits, level=level.name)
+                self._m_level_misses.inc(level.seq_misses,
+                                         level=level.name, kind="seq")
+                self._m_level_misses.inc(level.rand_misses,
+                                         level=level.name, kind="rand")
 
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -539,8 +744,9 @@ class QueryServer:
                     continue
                 prediction = self.interference.co_run(
                     [t.plan for t in batch])
-                replay, rows = await loop.run_in_executor(
-                    self._pool, self._execute_batch, batch, now)
+                replay, rows, measured, wall0, wall1 = \
+                    await loop.run_in_executor(
+                        self._pool, self._execute_batch, batch, now)
                 finishes = []
                 index = self._batch_index
                 self._batch_index += 1
@@ -561,7 +767,8 @@ class QueryServer:
                         finish_ns=now + finish, rows=nrows,
                         cache_hit=task.cache_hit, batch_index=index,
                         batch_size=len(batch),
-                        signature=task.signature)
+                        signature=task.signature,
+                        compile_wall_ns=task.compile_wall_ns)
                     self._responses.append(response)
                     self.slo.observe(task.tenant, response.finish_ns,
                                      response.latency_ns)
@@ -576,6 +783,10 @@ class QueryServer:
                     predicted_makespan_ns=prediction.makespan_ns,
                     measured_makespan_ns=makespan))
                 self._clock = now + makespan
+                if self.tracer is not None:
+                    self._trace_batch(batch, now, index, finishes,
+                                      makespan, replay, measured,
+                                      wall0, wall1)
 
     # -- reporting -----------------------------------------------------
     @property

@@ -2,11 +2,14 @@
 
 The server observes one sample per completed query — ``(finish_ns,
 latency_ns)`` on the simulated clock — into per-tenant and global
-sliding windows.  Percentiles come from the same
-:func:`repro.service.metrics.percentile` the offline reports use
-(``empty=None``: a window with no completions has no percentile);
-targets are declared per scope and every violation is recorded as a
-typed :class:`SloBreach` event, so "did we hold p99 under load?" is a
+sliding windows.  Percentiles come from a
+:class:`~repro.obs.BucketedHistogram` kept in sync with the window
+(O(1) observe/trim instead of a sort per percentile, memory bounded by
+the bucket count; estimates agree with the exact sort within one
+bucket width, and exactly when a bucket holds one distinct value).
+A window with no completions has no percentile (``None``); targets are
+declared per scope and every violation is recorded as a typed
+:class:`SloBreach` event, so "did we hold p99 under load?" is a
 question about data, not about eyeballing logs.
 """
 
@@ -15,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from ..service.metrics import percentile
+from ..obs import BucketedHistogram
 
 __all__ = ["SloTarget", "SloBreach", "SlidingWindow", "SloTracker"]
 
@@ -61,7 +64,11 @@ class SlidingWindow:
     """Completion samples inside the trailing ``window_ns``.
 
     Samples arrive in finish-time order (the server's simulated clock
-    is monotone), so trimming is a popleft loop.
+    is monotone), so trimming is a popleft loop.  The deque keeps the
+    ``(finish, latency)`` pairs the trim and throughput calculations
+    need; a :class:`~repro.obs.BucketedHistogram` mirrors the retained
+    latencies so percentile queries are O(buckets), not a sort over
+    the window.
     """
 
     def __init__(self, window_ns: float = DEFAULT_WINDOW_NS) -> None:
@@ -69,23 +76,26 @@ class SlidingWindow:
             raise ValueError("window_ns must be positive")
         self.window_ns = window_ns
         self._samples: deque[tuple[float, float]] = deque()
+        self._histogram = BucketedHistogram()
         self.total_observed = 0
 
     def observe(self, finish_ns: float, latency_ns: float) -> None:
         self._samples.append((finish_ns, latency_ns))
+        self._histogram.observe(latency_ns)
         self.total_observed += 1
         self._trim(finish_ns)
 
     def _trim(self, now_ns: float) -> None:
         cutoff = now_ns - self.window_ns
         while self._samples and self._samples[0][0] < cutoff:
-            self._samples.popleft()
+            _, latency = self._samples.popleft()
+            self._histogram.forget(latency)
 
     def __len__(self) -> int:
         return len(self._samples)
 
     def latency_percentile(self, q: float) -> float | None:
-        return percentile([lat for _, lat in self._samples], q, empty=None)
+        return self._histogram.percentile(q)
 
     def throughput_qps(self) -> float:
         """Completions per simulated second over the window actually
@@ -177,11 +187,22 @@ class SloTracker:
         self.breaches.extend(caused)
         return caused
 
+    def breach_count(self, scope: str) -> int:
+        """Cumulative breaches recorded for one scope (``"global"`` or
+        a tenant name)."""
+        return sum(1 for breach in self.breaches if breach.scope == scope)
+
     def snapshot(self) -> dict:
-        """Current windows, global and per tenant, plus breach count."""
+        """Current windows, global and per tenant — each carrying its
+        cumulative breach count — plus the total breach count."""
+        def _scoped(scope: str, window: SlidingWindow) -> dict:
+            scoped = window.snapshot()
+            scoped["breaches"] = self.breach_count(scope)
+            return scoped
+
         return {
-            "global": self.global_window.snapshot(),
-            "tenants": {name: window.snapshot()
+            "global": _scoped("global", self.global_window),
+            "tenants": {name: _scoped(name, window)
                         for name, window in
                         sorted(self.tenant_windows.items())},
             "breaches": len(self.breaches),

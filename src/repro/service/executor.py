@@ -35,6 +35,7 @@ from ..query.observe import MeasuredResult, measure_plan
 from ..query.optimizer import plan_signature
 from ..query.physical import QueryPlan
 from ..session import Session
+from ..simulator.counters import CounterSnapshot
 from ..simulator.memory import MemorySystem
 from .interference import InterferenceModel
 from .metrics import BatchMetrics, QueryMetrics, WorkloadReport
@@ -131,6 +132,10 @@ class BatchReplay:
     memory_ns: tuple[float, ...]
     #: Elapsed (shared-clock) time at which each trace finished.
     finish_ns: tuple[float, ...]
+    #: Per-level hit/miss counters of the shared memory system after
+    #: the whole batch drained — the sample the metrics registry takes
+    #: at batch boundaries.
+    counters: CounterSnapshot | None = None
 
 
 #: Default time-slice length (accesses per turn) of the interleaved
@@ -204,7 +209,8 @@ def replay_interleaved(hierarchy: MemoryHierarchy,
         active = still_active
     return BatchReplay(total_ns=mem.elapsed_ns,
                        memory_ns=tuple(memory),
-                       finish_ns=tuple(finish))
+                       finish_ns=tuple(finish),
+                       counters=mem.snapshot())
 
 
 def measure_solo(session: Session, plan: QueryPlan) -> MeasuredResult:

@@ -185,6 +185,11 @@ class WorkloadReport:
             "p50_latency_ns": self.p50_latency_ns,
             "p95_latency_ns": self.p95_latency_ns,
             "p99_latency_ns": self.p99_latency_ns,
+            # the same values under the SloTracker.snapshot() names, so
+            # serving-side consumers read one vocabulary
+            "p50_ns": self.p50_latency_ns,
+            "p95_ns": self.p95_latency_ns,
+            "p99_ns": self.p99_latency_ns,
             "cache_hits": self.cache_hits,
             "mean_contention_error": self.mean_contention_error,
             "queries": [q.to_json() for q in self.queries],

@@ -64,8 +64,25 @@ class PlanCache:
         self._inflight: dict[Hashable, threading.Event] = {}
         self.hits = 0
         self.misses = 0
+        #: Event callbacks ``fn(event, count)`` with event one of
+        #: ``"hit"`` / ``"miss"`` / ``"retire"`` — how a metrics
+        #: registry watches the cache without the cache knowing about
+        #: metrics.  Always notified *outside* the cache lock.
+        self._observers: list[Callable[[str, int], None]] = []
 
     # ------------------------------------------------------------------
+    def attach_observer(self, observer: Callable[[str, int], None]
+                        ) -> None:
+        """Subscribe to cache events (``"hit"``/``"miss"``/``"retire"``,
+        each with a count).  Callbacks run outside the cache lock, on
+        whichever thread triggered the event — they must be
+        thread-safe and must not call back into the cache."""
+        self._observers.append(observer)
+
+    def _notify(self, event: str, count: int = 1) -> None:
+        for observer in self._observers:
+            observer(event, count)
+
     def get(self, key: Hashable) -> PlannedQuery | None:
         """The cached plan for ``key``, or ``None`` (counts a miss)."""
         with self._lock:
@@ -73,22 +90,31 @@ class PlanCache:
                 value = self._entries[key]
             except KeyError:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value
+                value = None
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        self._notify("hit" if value is not None else "miss")
+        return value
 
     def put(self, key: Hashable, value: PlannedQuery) -> None:
         """Store a compiled plan, evicting the least recently used
         entry beyond ``max_entries``."""
         with self._lock:
-            self._put_locked(key, value)
+            retired = self._put_locked(key, value)
+        if retired:
+            self._notify("retire", retired)
 
-    def _put_locked(self, key: Hashable, value: PlannedQuery) -> None:
+    def _put_locked(self, key: Hashable, value: PlannedQuery) -> int:
+        """Insert under the held lock; returns how many LRU entries
+        were retired to make room (callers notify outside the lock)."""
         self._entries[key] = value
         self._entries.move_to_end(key)
+        retired = 0
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            retired += 1
+        return retired
 
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], PlannedQuery]
@@ -109,9 +135,10 @@ class PlanCache:
                     value = self._entries[key]
                     self._entries.move_to_end(key)
                     self.hits += 1
-                    return value, True
                 except KeyError:
                     pass
+                else:
+                    break  # hit: notify after releasing the lock
                 gate = self._inflight.get(key)
                 if gate is None:
                     gate = threading.Event()
@@ -131,10 +158,15 @@ class PlanCache:
                 raise
             with self._lock:
                 self.misses += 1
-                self._put_locked(key, value)
+                retired = self._put_locked(key, value)
                 del self._inflight[key]
             gate.set()
+            self._notify("miss")
+            if retired:
+                self._notify("retire", retired)
             return value, False
+        self._notify("hit")
+        return value, True
 
     def clear(self) -> None:
         with self._lock:

@@ -19,6 +19,7 @@ identical physical plans and share plan-cache entries.
 
 from __future__ import annotations
 
+import time
 import warnings
 from contextlib import contextmanager
 from dataclasses import replace
@@ -30,6 +31,7 @@ from ..db.column import Column
 from ..db.context import Database
 from ..hardware.hierarchy import MemoryHierarchy
 from ..hardware.profiles import origin2000_scaled
+from ..obs import Tracer
 from ..query.logical import LogicalOp, Relation
 from ..query.observe import (
     Explanation,
@@ -90,6 +92,12 @@ class Session:
         plan-cache key — overriding whatever the ``config`` carries.
         Results and simulated counters are identical across modes; only
         real wall-clock differs.
+    tracer:
+        Opt-in observability (:class:`~repro.obs.Tracer`): compile
+        spans (wall interval, simulated instant) and, for
+        :meth:`execute_measured`, per-operator execution spans plus
+        drift-monitor samples keyed by the profile fingerprint.
+        ``None`` (the default) records nothing.
     """
 
     def __init__(self, hierarchy: MemoryHierarchy | None = None,
@@ -97,7 +105,8 @@ class Session:
                  config: PlannerConfig | None = None,
                  cache: PlanCache | None = None,
                  memory_budget: int | None = None,
-                 execution: str | None = None) -> None:
+                 execution: str | None = None,
+                 tracer: Tracer | None = None) -> None:
         if db is not None and hierarchy is not None:
             raise ValueError(
                 "pass either hierarchy or db, not both (a Database "
@@ -123,6 +132,7 @@ class Session:
         # `cache or ...` would drop a shared cache that is still empty
         # (PlanCache defines __len__, so an empty cache is falsy)
         self.plan_cache = cache if cache is not None else PlanCache()
+        self.tracer = tracer
         self._functions: dict[str, Callable] = {}
         self._sorted: dict[str, bool] = {}
         #: Whether the most recent :meth:`compile` was served from the
@@ -147,7 +157,7 @@ class Session:
         front doors, one engine, one cache.  Compile provenance
         (:attr:`last_compile_cached`) stays per session."""
         child = Session(db=self.db, config=self.config,
-                        cache=self.plan_cache)
+                        cache=self.plan_cache, tracer=self.tracer)
         child._functions.update(self._functions)
         child._sorted.update(self._sorted)
         return child
@@ -279,6 +289,7 @@ class Session:
         published plan.  Per-session state (provenance flag, hit/miss
         counters) is only ever touched by the session's own thread —
         the one-session-per-client spawn discipline."""
+        wall_start = time.perf_counter_ns()
         self._sync_profile()
         logical = self.as_logical(q)
         # One key derivation per compile: get_or_compute here instead
@@ -293,6 +304,16 @@ class Session:
             self.compile_hits += 1
         else:
             self.compile_misses += 1
+        if self.tracer is not None:
+            # an instant on the simulated clock (the machine never pays
+            # for compilation), an interval on the wall clock
+            at = getattr(self.db.mem, "elapsed_ns", 0.0)
+            self.tracer.span(
+                "compile", track="session", category="compile",
+                sim_start_ns=at, sim_end_ns=at,
+                wall_start_ns=wall_start,
+                wall_end_ns=time.perf_counter_ns(),
+                cache_hit=hit, signature=planned.best.signature)
         return planned
 
     def prepare(self, q) -> PreparedStatement:
@@ -362,10 +383,19 @@ class Session:
         explanation = planned.explanation(self.model,
                                           pipeline=self.config.pipeline,
                                           cache_hit=cache_hit)
+        # ``cold=True`` resets the engine clock to zero before running,
+        # so the execute span starts at 0; warm runs start at the
+        # engine's current simulated time.
+        start = 0.0 if cold else getattr(self.db.mem, "elapsed_ns", 0.0)
         with self._restoring(restore), \
                 self.db.execution_scope(self.config.execution):
-            return capture_measured(self.db, planned.plan, explanation,
-                                    cold=cold)
+            result = capture_measured(self.db, planned.plan, explanation,
+                                      cold=cold)
+        if self.tracer is not None:
+            self.tracer.record_measured(result, track="session",
+                                        sim_start_ns=start,
+                                        fingerprint=self.fingerprint)
+        return result
 
     def explain_query(self, q) -> Explanation:
         """The chosen plan's typed :class:`~repro.query.Explanation` —
