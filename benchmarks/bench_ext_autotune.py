@@ -1,0 +1,196 @@
+"""Extension: online self-calibration — the drift→response loop closes
+the pinned permutation-join gap.
+
+The static ``origin2000_scaled`` profile carries a known model gap
+(``tests/test_known_gaps.py``, ROADMAP item 3): the in-memory hash join
+underpredicts permutation joins whose build side outgrows L2 — 0.42 at
+n=1024, 0.58 at n=4096 — and ``bench_ext_vectorized`` declares those
+rows out of band.  This bench runs the *response* half: a
+:class:`~repro.calibrator.Recalibrator` watches measured executions of
+the standard template sweep, the drift monitor trips on the join
+excursion, one coordinate-descent search republishes the latency
+profile, and every template is re-measured on the published profile.
+
+At n=1024 one round **closes** the gap — the join error drops from
+~0.48 to well inside the 0.35 band while the healthy templates stay
+healthy (whole-sweep MAPE improves) — exactly the event that will
+eventually fail the lower pin of ``test_large_n_gap_is_pinned`` and
+trigger its tightening.  At full size (n=4096) one round *narrows* the
+gap but cannot close it (the re-measured error moves the plan choice,
+so the scorer's fixed-point is not the simulator's); the join rows stay
+declared ``known_gaps`` there, with the before/after trajectory
+recorded.
+
+The emitted ``BENCH_ext_autotune.json`` carries the after-loop series
+plus the per-round detail, and the published profiles land next to it
+(``profile-<fingerprint>.json`` with their schema-checked
+``.manifest.json`` sidecars — validated inline here too).
+"""
+
+import pathlib
+
+from repro.calibrator import Recalibrator
+from repro.db import grouped_keys, random_permutation
+from repro.hardware import origin2000_scaled
+from repro.obs import validate_manifest_file
+from repro.session import Session
+from repro.validation import payload_from_results
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The validation band healthy templates (and, after recalibration,
+#: the n=1024 join) must sit inside.
+BAND = 0.35
+
+#: The full-size join rows stay declared: one recalibration round
+#: narrows the n=4096 gap but does not close it.
+KNOWN_GAP_REASON = (
+    "one recalibration round narrows the full-size permutation-join "
+    "gap (0.58 -> ~0.48) but does not close it: the profile swap moves "
+    "the plan choice, so the linear scorer's optimum is not the "
+    "simulator's — pinned in tests/test_known_gaps.py, ROADMAP item 3")
+
+
+def _even(value):
+    return value % 2 == 0
+
+
+def _templates(n):
+    return [
+        "filter(orders, even, sel=0.5)",
+        "sort(orders)",
+        f"aggregate(events, groups={n // 8})",
+        "join(orders, customers)",
+        f"aggregate(join(orders, customers), groups={n})",
+        "join(filter(orders, even, sel=0.5), customers)",
+    ]
+
+
+def _make_session(n):
+    session = Session(origin2000_scaled())
+    session.create_table("orders", random_permutation(n, seed=1))
+    session.create_table("customers", random_permutation(n, seed=2))
+    session.create_table("events", grouped_keys(n, n // 8, seed=3))
+    session.predicate("even", _even)
+    return session
+
+
+def run_loop(n):
+    """One drift→response round at size ``n``: measure the sweep while
+    the recalibrator watches, let the join excursion trip the monitor,
+    republish, re-measure.  Returns the per-template before/after
+    errors, the recalibration record, and the after-loop measurements
+    (for the payload series)."""
+    session = _make_session(n)
+    recalibrator = Recalibrator(session, manifest_dir=RESULTS_DIR)
+    before = {}
+    for text in _templates(n):
+        result = session.execute_measured(text, restore=True)
+        before[text] = result.error
+        recalibrator.observe(result, label=text)
+    # the sweep's three join-bearing templates feed one per-operator
+    # drift series; at the pinned sizes it trips within the sweep (or
+    # after at most a few repeat joins)
+    extra_joins = 0
+    while not recalibrator.due() and extra_joins < 4:
+        result = session.execute_measured("join(orders, customers)",
+                                          restore=True)
+        recalibrator.observe(result, label="join(orders, customers)")
+        extra_joins += 1
+    recalibration = recalibrator.recalibrate()
+    after, measures = {}, []
+    for text in _templates(n):
+        result = session.execute_measured(text, restore=True)
+        after[text] = result.error
+        measures.append((f"{text} @ n={n}", result))
+    return {
+        "n": n,
+        "before": before,
+        "after": after,
+        "extra_joins": extra_joins,
+        "recalibration": recalibration,
+        "measures": measures,
+    }
+
+
+def render(rounds) -> str:
+    lines = ["== Extension: online self-calibration "
+             "(drift -> search -> republish -> re-measure) =="]
+    for round_ in rounds:
+        n = round_["n"]
+        recalibration = round_["recalibration"]
+        outcome = recalibration.outcome
+        lines.append(
+            f"n={n}: search MAPE {outcome.error_before:.3f} -> "
+            f"{outcome.error_after:.3f} "
+            f"({outcome.evaluations} candidates, {outcome.passes} passes), "
+            f"profile {recalibration.fingerprint_before} -> "
+            f"{recalibration.fingerprint_after}, "
+            f"{recalibration.retired_plans} plans retired")
+        lines.append(f"{'template':>50} | {'before':>7} {'after':>7}")
+        for text in round_["before"]:
+            lines.append(f"{text[:50]:>50} | "
+                         f"{round_['before'][text]:>7.3f} "
+                         f"{round_['after'][text]:>7.3f}")
+    return "\n".join(lines)
+
+
+def _mape(errors) -> float:
+    return sum(errors.values()) / len(errors)
+
+
+def test_recalibration_closes_the_pinned_gap(benchmark, save_result,
+                                             save_json, quick):
+    sizes = (1024,) if quick else (1024, 4096)
+    rounds = benchmark.pedantic(
+        lambda: [run_loop(n) for n in sizes], rounds=1, iterations=1)
+    save_result("ext_autotune", render(rounds))
+
+    measures, known_gaps, detail = [], {}, []
+    for round_ in rounds:
+        n = round_["n"]
+        recalibration = round_["recalibration"]
+        measures.extend(round_["measures"])
+        if n > 1024:  # full-size joins stay declared (see docstring)
+            known_gaps.update({
+                f"{text} @ n={n}": KNOWN_GAP_REASON
+                for text in _templates(n) if "join(" in text})
+        detail.append({
+            "n": n,
+            "before": round_["before"],
+            "after": round_["after"],
+            "mape_before": _mape(round_["before"]),
+            "mape_after": _mape(round_["after"]),
+            "search": recalibration.manifest["search"],
+            "fingerprint": recalibration.manifest["fingerprint"],
+            "retired_plans": recalibration.retired_plans,
+            "manifest_path": recalibration.manifest_path.name,
+        })
+    payload = payload_from_results("ext_autotune", measures,
+                                   tolerance=BAND,
+                                   include_results=False,
+                                   known_gaps=known_gaps)
+    payload["rounds"] = detail
+    save_json("ext_autotune", payload)
+
+    for round_ in rounds:
+        n = round_["n"]
+        recalibration = round_["recalibration"]
+        join = "join(orders, customers)"
+        # the drift monitor tripped and the search published a profile
+        assert recalibration is not None and recalibration.published
+        assert recalibration.events, "no drift event consumed"
+        # the published profile left a schema-valid sidecar manifest
+        assert validate_manifest_file(recalibration.manifest_path) == []
+        # the loop started from the pinned gap and improved the sweep
+        assert round_["before"][join] > 0.30, \
+            "the gap closed before recalibrating — tighten the pins"
+        assert round_["after"][join] < round_["before"][join]
+        assert _mape(round_["after"]) <= _mape(round_["before"])
+        if n == 1024:
+            # the headline: the pinned n=1024 gap is *closed* online
+            assert round_["after"][join] < BAND, (
+                f"recalibrated join error {round_['after'][join]:.3f} "
+                f"should sit inside the {BAND} band")
+    # healthy rows (declared full-size joins excluded) are in band
+    assert payload["band"]["max_error"] <= BAND

@@ -21,10 +21,14 @@ single-access fast path, around 2x.  End-to-end query speedup lands
 between the two, weighted by each plan's pattern mix.
 
 The JSON payload's accuracy band tracks the *model* (predicted vs
-simulated time, identical in both modes); its 0.65 tolerance is
-inherited from the known in-memory hash-join overprediction on
-permutation joins at these sizes (see ``bench_fig7c_hashjoin`` and the
-ROADMAP) — the speedup floors, not the band, are this bench's subject.
+simulated time, identical in both modes) at the standard 0.35
+tolerance.  The join-bearing templates sit outside it by a known,
+pinned model gap — the in-memory hash join underpredicts once the
+permutation-join build side outgrows L2 (``tests/test_known_gaps.py``;
+closed online by :class:`repro.calibrator.Recalibrator`, see
+``bench_ext_autotune``) — so they are *declared* via the payload's
+``known_gaps`` field instead of inflating the tolerance: their errors
+stay recorded and window-checked, but out of ``band.max_error``.
 """
 
 import time
@@ -46,6 +50,19 @@ from repro.validation import payload_from_results
 
 MODES = ("scalar", "vectorized")
 REPEATS = 5
+
+#: The pinned permutation-join gap (tests/test_known_gaps.py): every
+#: template embedding the permutation join underpredicts once the
+#: build side outgrows L2, so those rows are declared out of band
+#: instead of being covered by a slack tolerance.
+KNOWN_GAP_REASON = (
+    "in-memory hash join underpredicts permutation joins whose build "
+    "side outgrows L2 (pinned in tests/test_known_gaps.py, ROADMAP "
+    "item 3); closed online by repro.calibrator.Recalibrator — see "
+    "bench_ext_autotune")
+#: Errors of declared rows must still sit inside the pin window's
+#: upper bound — a widening gap is a regression, declared or not.
+KNOWN_GAP_CEILING = 0.75
 
 
 def _even(value):
@@ -147,6 +164,14 @@ def _templates(n):
     ]
 
 
+def _known_gaps(n):
+    """The join-bearing templates, declared against the pinned gap."""
+    return {
+        text: KNOWN_GAP_REASON
+        for text in _templates(n) if "join(" in text
+    }
+
+
 def _make_session(n, mode):
     session = Session(origin2000_scaled(), execution=mode)
     session.create_table("orders", random_permutation(n, seed=1))
@@ -229,8 +254,10 @@ def test_vectorized_speedup(benchmark, save_result, save_json, quick):
         run_suite, args=(quick,), rounds=1, iterations=1)
     save_result("ext_vectorized", render(operators, templates, end_to_end))
 
+    n = 1024 if quick else 4096
     payload = payload_from_results("ext_vectorized", measures,
-                                   tolerance=0.65)
+                                   tolerance=0.35,
+                                   known_gaps=_known_gaps(n))
     payload["operators"] = operators
     payload["templates"] = templates
     payload["end_to_end_speedup"] = end_to_end
@@ -242,5 +269,10 @@ def test_vectorized_speedup(benchmark, save_result, save_json, quick):
             f"{row['label']}: {row['speedup']:.2f}x < {row['floor']}x"
     # a representative plan mix lands between the two regimes
     assert end_to_end >= 1.4
-    # the model's accuracy is unchanged by the execution mode
-    assert payload["band"]["max_error"] <= 0.65
+    # the model's accuracy is unchanged by the execution mode: healthy
+    # templates inside the standard band, declared gap rows inside the
+    # pin window (tests/test_known_gaps.py)
+    assert payload["band"]["max_error"] <= 0.35
+    for gap in payload["known_gaps"]:
+        assert gap["error"] < KNOWN_GAP_CEILING, \
+            f"declared gap {gap['size']!r} widened to {gap['error']:.3f}"

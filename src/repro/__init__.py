@@ -35,7 +35,7 @@ from .hardware import (
 )
 from .simulator import MemorySystem
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 
 def __getattr__(name):
@@ -50,6 +50,9 @@ def __getattr__(name):
     if name == "Tracer":
         from .obs import Tracer
         return Tracer
+    if name == "Recalibrator":
+        from .calibrator import Recalibrator
+        return Recalibrator
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -57,6 +60,7 @@ __all__ = [
     "Session",
     "QueryServer",
     "Tracer",
+    "Recalibrator",
     "CacheLevel",
     "MemoryHierarchy",
     "MemorySystem",

@@ -1,6 +1,44 @@
-"""Hardware-parameter calibration micro-benchmarks (the paper's
-Calibrator tool, run against the simulated memory)."""
+"""Hardware-parameter calibration: the paper's Calibrator tool run
+against the simulated memory (one-shot micro-benchmarks in
+:mod:`.calibrator`) plus the online drift→response loop
+(:mod:`.autotune`) that re-fits latencies from live measurements."""
 
+from .autotune import (
+    DEFAULT_MULTIPLIERS,
+    MANIFEST_KIND,
+    CalibrationSample,
+    LatencyGrid,
+    Recalibration,
+    Recalibrator,
+    SearchOutcome,
+    build_manifest,
+    manifest_dumps,
+    mean_error,
+    predicted_time_ns,
+    replayed_time_ns,
+    sample_error,
+    search_latencies,
+    write_manifest,
+)
 from .calibrator import CalibratedLevel, CalibrationResult, calibrate
 
-__all__ = ["CalibratedLevel", "CalibrationResult", "calibrate"]
+__all__ = [
+    "CalibratedLevel",
+    "CalibrationResult",
+    "calibrate",
+    "DEFAULT_MULTIPLIERS",
+    "MANIFEST_KIND",
+    "LatencyGrid",
+    "CalibrationSample",
+    "SearchOutcome",
+    "Recalibration",
+    "Recalibrator",
+    "predicted_time_ns",
+    "replayed_time_ns",
+    "sample_error",
+    "mean_error",
+    "search_latencies",
+    "build_manifest",
+    "manifest_dumps",
+    "write_manifest",
+]

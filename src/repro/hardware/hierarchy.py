@@ -11,7 +11,8 @@ versa, so we keep the two families separate and iterate over
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Mapping
 
 from .cache_level import CacheLevel
 
@@ -145,6 +146,52 @@ class MemoryHierarchy:
             name=self.name + name_suffix,
             levels=tuple(shrink(l) for l in self.levels),
             tlbs=tuple(shrink(t) for t in self.tlbs),
+            cpu_speed_mhz=self.cpu_speed_mhz,
+        )
+
+    def scaled_latencies(self, multipliers: Mapping[str, tuple[float, float]],
+                         name_suffix: str = " (recalibrated)"
+                         ) -> "MemoryHierarchy":
+        """A hierarchy with per-level miss latencies rescaled.
+
+        ``multipliers`` maps level names to ``(seq_mult, rand_mult)``
+        factors applied to that level's sequential/random miss
+        latencies; unnamed levels keep theirs.  Capacities, line sizes
+        and associativities are untouched, so every miss *count* the
+        model derives (region size vs. capacity, cursors vs. lines) is
+        preserved — only the per-miss prices move.  This is the
+        parametric neighborhood the online recalibrator
+        (:mod:`repro.calibrator.autotune`) searches.
+
+        Raises :class:`KeyError` for an unknown level name and
+        :class:`ValueError` when a rescaled level violates its own
+        constraints (random latency must stay >= sequential).
+        """
+        known = {lvl.name for lvl in self.all_levels}
+        unknown = sorted(set(multipliers) - known)
+        if unknown:
+            raise KeyError(
+                f"no cache level named {unknown[0]!r} in {self.name}")
+        for name, (seq_mult, rand_mult) in multipliers.items():
+            if seq_mult <= 0 or rand_mult <= 0:
+                raise ValueError(
+                    f"{name}: latency multipliers must be positive, "
+                    f"got ({seq_mult}, {rand_mult})")
+
+        def reprice(level: CacheLevel) -> CacheLevel:
+            seq_mult, rand_mult = multipliers.get(level.name, (1.0, 1.0))
+            if seq_mult == 1.0 and rand_mult == 1.0:
+                return level
+            return replace(
+                level,
+                seq_miss_latency_ns=level.seq_miss_latency_ns * seq_mult,
+                rand_miss_latency_ns=level.rand_miss_latency_ns * rand_mult,
+            )
+
+        return MemoryHierarchy(
+            name=self.name + name_suffix,
+            levels=tuple(reprice(l) for l in self.levels),
+            tlbs=tuple(reprice(t) for t in self.tlbs),
             cpu_speed_mhz=self.cpu_speed_mhz,
         )
 

@@ -36,6 +36,8 @@ from .schema import (
     validate_chrome_trace,
     validate_event,
     validate_events_file,
+    validate_manifest,
+    validate_manifest_file,
     validate_metrics_json,
     validate_trace_file,
 )
@@ -64,4 +66,6 @@ __all__ = [
     "validate_metrics_json",
     "validate_event",
     "validate_events_file",
+    "validate_manifest",
+    "validate_manifest_file",
 ]

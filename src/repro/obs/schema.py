@@ -12,6 +12,9 @@ artifacts:
   with labeled series.
 * JSONL event-log entries (:func:`validate_event`) — span and drift
   records.
+* Recalibration sidecar manifests (:func:`validate_manifest`) — the
+  Tracekit-style record a published profile carries
+  (:func:`repro.calibrator.build_manifest`).
 """
 
 from __future__ import annotations
@@ -25,6 +28,8 @@ __all__ = [
     "validate_metrics_json",
     "validate_event",
     "validate_events_file",
+    "validate_manifest",
+    "validate_manifest_file",
 ]
 
 
@@ -208,6 +213,140 @@ def validate_event(data) -> list[str]:
         problems.append(
             f"event kind must be 'span' or 'drift', got {kind!r}")
     return problems
+
+
+# ----------------------------------------------------------------------
+# recalibration sidecar manifest
+# ----------------------------------------------------------------------
+
+def _validate_profile_dict(data, where: str) -> list[str]:
+    if not isinstance(data, dict):
+        return [f"{where} is not an object"]
+    problems = []
+    levels = data.get("levels")
+    if not isinstance(levels, list) or not levels:
+        problems.append(f"{where}.levels must be a non-empty list")
+    if not isinstance(data.get("name"), str) or not data["name"]:
+        problems.append(f"{where}.name must be a non-empty string")
+    return problems
+
+
+def validate_manifest(data) -> list[str]:
+    """All schema violations of one recalibration sidecar manifest
+    (:func:`repro.calibrator.build_manifest`)."""
+    if not isinstance(data, dict):
+        return ["manifest is not a JSON object"]
+    problems: list[str] = []
+    if data.get("kind") != "recalibration_manifest":
+        problems.append("kind must be 'recalibration_manifest', "
+                        f"got {data.get('kind')!r}")
+    if data.get("schema_version") != 1:
+        problems.append("schema_version must be 1, "
+                        f"got {data.get('schema_version')!r}")
+    published = data.get("published")
+    if not isinstance(published, bool):
+        problems.append("published must be a boolean")
+        published = False
+    profile = data.get("profile")
+    if not isinstance(profile, dict):
+        problems.append("profile must be an object")
+    else:
+        for side in ("before", "after"):
+            problems.extend(_validate_profile_dict(profile.get(side),
+                                                   f"profile.{side}"))
+    fingerprint = data.get("fingerprint")
+    if not isinstance(fingerprint, dict):
+        problems.append("fingerprint must be an object")
+    else:
+        for side in ("before", "after"):
+            value = fingerprint.get(side)
+            if not isinstance(value, str) or not value:
+                problems.append(
+                    f"fingerprint.{side} must be a non-empty string")
+        if published and fingerprint.get("before") == fingerprint.get(
+                "after"):
+            problems.append(
+                "published manifest must change the fingerprint")
+    search = data.get("search")
+    if not isinstance(search, dict):
+        problems.append("search must be an object")
+    else:
+        grid = search.get("grid")
+        if not isinstance(grid, list) or not grid or not all(
+                _is_number(m) and m > 0 for m in grid):
+            problems.append(
+                "search.grid must be a non-empty list of positive "
+                "numbers")
+        for key in ("max_passes", "passes", "evaluations"):
+            value = search.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                problems.append(
+                    f"search.{key} must be a non-negative int")
+        multipliers = search.get("multipliers")
+        if not isinstance(multipliers, dict) or not all(
+                isinstance(name, str)
+                and isinstance(pair, list) and len(pair) == 2
+                and all(_is_number(m) and m > 0 for m in pair)
+                for name, pair in multipliers.items()):
+            problems.append(
+                "search.multipliers must map level names to "
+                "[seq, rand] positive pairs")
+    error = data.get("error")
+    if not isinstance(error, dict):
+        problems.append("error must be an object")
+    else:
+        if not _is_number(error.get("band")) or error["band"] <= 0:
+            problems.append("error.band must be a positive number")
+        for key in ("before", "after"):
+            value = error.get(key)
+            if not _is_number(value) or value < 0:
+                problems.append(
+                    f"error.{key} must be a non-negative number")
+        if published and _is_number(error.get("before")) \
+                and _is_number(error.get("after")) \
+                and error["after"] > error["before"]:
+            problems.append(
+                "published manifest must not increase the error")
+        samples = error.get("samples")
+        if not isinstance(samples, list):
+            problems.append("error.samples must be a list")
+        else:
+            for index, entry in enumerate(samples):
+                where = f"error.samples[{index}]"
+                if not isinstance(entry, dict):
+                    problems.append(f"{where} is not an object")
+                    continue
+                if not isinstance(entry.get("label"), str) \
+                        or not entry["label"]:
+                    problems.append(
+                        f"{where}.label must be a non-empty string")
+                for key in ("before", "after"):
+                    if not _is_number(entry.get(key)) or entry[key] < 0:
+                        problems.append(
+                            f"{where}.{key} must be a non-negative "
+                            "number")
+    events = data.get("events")
+    if not isinstance(events, list):
+        problems.append("events must be a list")
+    else:
+        for index, event in enumerate(events):
+            where = f"events[{index}]"
+            if not isinstance(event, dict) \
+                    or event.get("kind") != "drift":
+                problems.append(f"{where} must be a drift event")
+                continue
+            problems.extend(f"{where}: {problem}"
+                            for problem in validate_event(event))
+    return problems
+
+
+def validate_manifest_file(path) -> list[str]:
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    return validate_manifest(data)
 
 
 def validate_events_file(path) -> list[str]:

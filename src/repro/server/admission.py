@@ -57,6 +57,9 @@ class ServerTask:
     cpu_ns: float
     cache_hit: bool
     signature: str = ""
+    #: Fingerprint of the tenant profile the plan was compiled (and
+    #: priced) under — response provenance across recalibrations.
+    fingerprint: str = ""
     #: Resolution slot the server attaches (an asyncio future-like);
     #: the controller never touches it.
     handle: object = field(default=None, repr=False, compare=False)

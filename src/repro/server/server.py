@@ -36,6 +36,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..calibrator.autotune import LatencyGrid, Recalibration, Recalibrator
 from ..hardware.hierarchy import MemoryHierarchy
 from ..hardware.profiles import origin2000_scaled
 from ..obs import Tracer
@@ -78,6 +79,11 @@ class ServerResponse:
     batch_index: int | None = None
     batch_size: int | None = None
     signature: str = ""
+    #: Fingerprint of the tenant profile the plan was compiled under —
+    #: after an online recalibration swaps the profile, subsequent
+    #: responses carry the new fingerprint (provenance of which model
+    #: priced the plan).
+    fingerprint: str = ""
     #: Wall-clock nanoseconds the compile took (``None`` when shed
     #: before compiling finished mattering).  Compiles are free on the
     #: simulated clock — the machine's time never advances for them.
@@ -107,6 +113,7 @@ class ServerResponse:
             "rows": self.rows, "cache_hit": self.cache_hit,
             "batch_index": self.batch_index,
             "batch_size": self.batch_size, "signature": self.signature,
+            "fingerprint": self.fingerprint,
             "queue_ns": self.wait_ns,
             # Where compile time went, per clock: real nanoseconds on
             # the wall, zero on the simulated clock (compiles overlap
@@ -269,6 +276,22 @@ class QueryServer:
         simulator misses), and per-operator drift monitoring on
         solo-batch executions.  ``None`` (the default) records
         nothing.
+    recalibration:
+        Opt-in online self-calibration (requires ``tracer``): each
+        tenant gets a :class:`~repro.calibrator.Recalibrator` fed by
+        the solo-batch measured path; when the tracer's drift monitor
+        flags the tenant's profile, the dispatcher searches the
+        latency neighborhood over the tenant's recent samples and, on
+        improvement, swaps the tenant's hierarchy in — retiring its
+        cached plans (visible as ``plan_cache_retirements_total``)
+        and stamping subsequent responses with the new fingerprint.
+        All decisions happen on the dispatcher's simulated clock, so
+        runs stay deterministic in (workload, seeds, policy).
+    recalibration_grid / recalibration_min_samples / recalibration_dir:
+        The recalibrators' search grid
+        (:class:`~repro.calibrator.LatencyGrid`), minimum replay-sample
+        depth before a response runs, and (optional) directory where
+        published profiles and their sidecar manifests are written.
     """
 
     def __init__(self, hierarchy: MemoryHierarchy | None = None, *,
@@ -280,9 +303,17 @@ class QueryServer:
                  tenant_slos: dict[str, SloTarget] | None = None,
                  slo_window_ns: float = DEFAULT_WINDOW_NS,
                  config: PlannerConfig | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 recalibration: bool = False,
+                 recalibration_grid: "LatencyGrid | None" = None,
+                 recalibration_min_samples: int = 1,
+                 recalibration_dir=None) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be positive")
+        if recalibration and tracer is None:
+            raise ValueError(
+                "recalibration requires a tracer (drift events come "
+                "from the tracer's monitor on solo-batch executions)")
         self.hierarchy = (hierarchy if hierarchy is not None
                           else origin2000_scaled())
         self.interference = InterferenceModel(self.hierarchy)
@@ -295,6 +326,14 @@ class QueryServer:
         self.quantum = quantum
         self.config = config
         self.tenants: dict[str, Tenant] = {}
+        # online recalibration (opt-in; populated per tenant)
+        self.recalibration = recalibration
+        self._recal_grid = recalibration_grid
+        self._recal_min_samples = recalibration_min_samples
+        self._recal_dir = recalibration_dir
+        self._recalibrators: dict[str, Recalibrator] = {}
+        #: Every recalibration the dispatcher ran, in order.
+        self.recalibrations: list[Recalibration] = []
         # accumulated accounting
         self._responses: list[ServerResponse] = []
         self._batches: list[BatchMetrics] = []
@@ -356,7 +395,12 @@ class QueryServer:
                 ("tenant",))
             self._m_cache_retired = m.counter(
                 "plan_cache_retirements_total",
-                "Plans evicted from a tenant's cache (LRU).",
+                "Plans retired from a tenant's cache (LRU eviction or "
+                "a recalibration's explicit profile-swap clear).",
+                ("tenant",))
+            self._m_recalibrations = m.counter(
+                "server_recalibrations_total",
+                "Profiles republished by the online recalibrator.",
                 ("tenant",))
 
     # -- tenants -------------------------------------------------------
@@ -381,6 +425,14 @@ class QueryServer:
                 counters[event].inc(count, tenant=_tenant)
 
             tenant.plan_cache.attach_observer(_cache_event)
+        if self.recalibration:
+            # Samples and events arrive via ingest() from the
+            # dispatcher (the tracer's monitor is the one detector —
+            # the recalibrator's own stays idle).
+            self._recalibrators[name] = Recalibrator(
+                tenant.session, grid=self._recal_grid,
+                min_samples=self._recal_min_samples,
+                manifest_dir=self._recal_dir)
         return tenant
 
     def tenant(self, name: str) -> Tenant:
@@ -531,6 +583,7 @@ class QueryServer:
                           solo_memory_ns=memory, cpu_ns=cpu,
                           cache_hit=session.last_compile_cached,
                           signature=plan_signature(plan.root),
+                          fingerprint=session.fingerprint,
                           compile_wall_start_ns=wall_start,
                           compile_wall_end_ns=time.perf_counter_ns())
 
@@ -597,6 +650,7 @@ class QueryServer:
             text=task.text, outcome="shed",
             arrival_ns=task.arrival_ns, start_ns=at_ns,
             finish_ns=at_ns, signature=task.signature,
+            fingerprint=task.fingerprint,
             compile_wall_ns=task.compile_wall_ns)
         self._responses.append(response)
         if self.tracer is not None:
@@ -684,6 +738,7 @@ class QueryServer:
             if measured is not None:
                 # solo batch: per-operator children + drift samples
                 tenant = self.tenants[task.tenant]
+                seen_events = len(tracer.drift.events)
                 execute = tracer.record_measured(
                     measured, track=track, sim_start_ns=now,
                     qid=task.qid, parent=root.sid,
@@ -694,6 +749,9 @@ class QueryServer:
                         qid=task.qid, parent=root.sid,
                         sim_start_ns=execute.sim_end_ns,
                         sim_end_ns=finish_abs, cpu_ns=task.cpu_ns)
+                self._maybe_recalibrate(
+                    task, tenant, measured,
+                    tracer.drift.events[seen_events:], finish_abs)
             else:
                 tracer.span(
                     "execute", track=track, category="execute",
@@ -721,6 +779,33 @@ class QueryServer:
                                          level=level.name, kind="seq")
                 self._m_level_misses.inc(level.rand_misses,
                                          level=level.name, kind="rand")
+
+    def _maybe_recalibrate(self, task: ServerTask, tenant: Tenant,
+                           measured, events, at_ns: float) -> None:
+        """The dispatcher-side response hook: fold the solo-batch
+        measurement into the tenant's recalibrator and run it when
+        drift is pending.  Called from :meth:`_trace_batch` only — the
+        single simulated-clock decision point — so the profile swap
+        lands deterministically *between* batches, and every compile
+        after it prices (and fingerprints) against the new profile."""
+        recalibrator = self._recalibrators.get(task.tenant)
+        if recalibrator is None:
+            return
+        recalibrator.ingest(measured, events=events)
+        recalibration = recalibrator.recalibrate()
+        if recalibration is None:
+            return
+        self.recalibrations.append(recalibration)
+        if recalibration.published:
+            tenant.recalibrations += 1
+            self._m_recalibrations.inc(tenant=task.tenant)
+            self.tracer.instant(
+                "recalibrate", track=f"tenant:{task.tenant}",
+                at_ns=at_ns, category="recalibrate",
+                fingerprint=recalibration.fingerprint_after,
+                error_before=recalibration.outcome.error_before,
+                error_after=recalibration.outcome.error_after,
+                retired_plans=recalibration.retired_plans)
 
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -768,6 +853,7 @@ class QueryServer:
                         cache_hit=task.cache_hit, batch_index=index,
                         batch_size=len(batch),
                         signature=task.signature,
+                        fingerprint=task.fingerprint,
                         compile_wall_ns=task.compile_wall_ns)
                     self._responses.append(response)
                     self.slo.observe(task.tenant, response.finish_ns,

@@ -83,6 +83,9 @@ class Tenant:
         self.submitted = 0
         self.completed = 0
         self.shed = 0
+        #: Profiles republished for this tenant by the server's online
+        #: recalibration loop (each swap retires the plan cache).
+        self.recalibrations = 0
 
     # ------------------------------------------------------------------
     @property
@@ -124,6 +127,7 @@ class Tenant:
             "submitted": self.submitted,
             "completed": self.completed,
             "shed": self.shed,
+            "recalibrations": self.recalibrations,
             "plan_cache": self.plan_cache.stats(),
             "profile": self.session.fingerprint,
         }

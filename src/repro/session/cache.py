@@ -168,9 +168,17 @@ class PlanCache:
         self._notify("hit")
         return value, True
 
-    def clear(self) -> None:
+    def clear(self) -> int:
+        """Drop every entry, returning how many were retired.
+        Observers see one ``"retire"`` event with the count — the
+        explicit retirement a profile swap performs, as opposed to the
+        silent key mismatch that merely strands old-profile entries."""
         with self._lock:
+            retired = len(self._entries)
             self._entries.clear()
+        if retired:
+            self._notify("retire", retired)
+        return retired
 
     def __len__(self) -> int:
         with self._lock:

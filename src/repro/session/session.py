@@ -133,6 +133,11 @@ class Session:
         # (PlanCache defines __len__, so an empty cache is falsy)
         self.plan_cache = cache if cache is not None else PlanCache()
         self.tracer = tracer
+        #: Callbacks ``fn(result)`` run after every
+        #: :meth:`execute_measured` — how an online recalibrator
+        #: (:class:`repro.calibrator.Recalibrator`) taps the live
+        #: measurement stream without the session knowing about it.
+        self._measurement_observers: list[Callable] = []
         self._functions: dict[str, Callable] = {}
         self._sorted: dict[str, bool] = {}
         #: Whether the most recent :meth:`compile` was served from the
@@ -191,6 +196,15 @@ class Session:
         recompile transparently on their next use."""
         self.db.set_hierarchy(hierarchy)
         self._rebind(hierarchy)
+
+    def attach_measurement_observer(self, observer: Callable) -> None:
+        """Subscribe ``observer(result)`` to every
+        :meth:`execute_measured` result of *this* session (spawned
+        siblings keep their own lists).  This is the live sample feed
+        of the online recalibration loop —
+        ``session.attach_measurement_observer(recalibrator.observe)``
+        wires a :class:`repro.calibrator.Recalibrator` in."""
+        self._measurement_observers.append(observer)
 
     # -- catalog -------------------------------------------------------
     def create_table(self, name: str, values: Sequence, width: int = 8,
@@ -395,6 +409,8 @@ class Session:
             self.tracer.record_measured(result, track="session",
                                         sim_start_ns=start,
                                         fingerprint=self.fingerprint)
+        for observer in self._measurement_observers:
+            observer(result)
         return result
 
     def explain_query(self, q) -> Explanation:

@@ -13,7 +13,13 @@ trajectory:
   experiment (:meth:`ExperimentResult.to_json
   <repro.validation.ExperimentResult.to_json>`) attached as ``detail``,
 * ``band`` — the tolerance the bench asserts and the worst observed
-  error.
+  error,
+* ``known_gaps`` (optional) — rows the bench *declares* out of band on
+  purpose, each with the pinned error and the reason (typically a
+  pointer to ``tests/test_known_gaps.py`` or a ROADMAP item).
+  Declared rows are excluded from ``band.max_error``, so a bench can
+  band its healthy rows tightly instead of inflating the tolerance to
+  cover a documented model gap.
 
 Validation is hand-rolled (the toolchain carries no ``jsonschema``):
 :func:`validate_bench_payload` returns a list of human-readable
@@ -83,6 +89,25 @@ def validate_bench_payload(data) -> list[str]:
         max_error = band.get("max_error")
         if max_error is not None and not _is_number(max_error):
             problems.append("band.max_error must be a number or null")
+    gaps = data.get("known_gaps")
+    if gaps is not None:
+        if not isinstance(gaps, list):
+            problems.append("known_gaps must be a list")
+        else:
+            for index, gap in enumerate(gaps):
+                where = f"known_gaps[{index}]"
+                if not isinstance(gap, dict):
+                    problems.append(f"{where} is not an object")
+                    continue
+                if "size" not in gap:
+                    problems.append(f"{where} lacks 'size'")
+                if not _is_number(gap.get("error")) or gap["error"] < 0:
+                    problems.append(
+                        f"{where}.error must be a non-negative number")
+                if not isinstance(gap.get("reason"), str) \
+                        or not gap["reason"]:
+                    problems.append(
+                        f"{where}.reason must be a non-empty string")
     return problems
 
 
@@ -111,14 +136,22 @@ def validate_results_dir(directory) -> dict[str, list[str]]:
 # ----------------------------------------------------------------------
 
 def payload_from_results(name: str, entries, tolerance: float,
-                         include_results: bool = True) -> dict:
+                         include_results: bool = True,
+                         known_gaps=None) -> dict:
     """A bench payload from typed measured results.
 
     ``entries`` is a list of ``(size, MeasuredResult)`` pairs
     (:class:`repro.query.MeasuredResult`); each series point embeds the
     full result JSON (the same serialization path queries use) unless
-    ``include_results`` is false."""
-    series = []
+    ``include_results`` is false.
+
+    ``known_gaps`` maps sizes to reasons: rows whose size is declared
+    there are recorded under the payload's ``known_gaps`` (with their
+    observed error) and *excluded* from ``band.max_error`` — the
+    declared, pinned way to keep a documented model gap out of the
+    bench's accuracy band."""
+    known_gaps = dict(known_gaps or {})
+    series, gaps = [], []
     for size, measured in entries:
         point = {
             "size": size,
@@ -129,8 +162,12 @@ def payload_from_results(name: str, entries, tolerance: float,
         if include_results:
             point["result"] = measured.to_json()
         series.append(point)
-    errors = [point["error"] for point in series]
-    return {
+        if size in known_gaps:
+            gaps.append({"size": size, "error": measured.error,
+                         "reason": known_gaps[size]})
+    errors = [point["error"] for point in series
+              if point["size"] not in known_gaps]
+    payload = {
         "kind": "bench",
         "bench": name,
         "sizes": [size for size, _ in entries],
@@ -138,6 +175,9 @@ def payload_from_results(name: str, entries, tolerance: float,
         "band": {"tolerance": tolerance,
                  "max_error": max(errors) if errors else None},
     }
+    if gaps:
+        payload["known_gaps"] = gaps
+    return payload
 
 
 def payload_from_serving(name: str, entries, tolerance: float,
