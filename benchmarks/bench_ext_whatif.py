@@ -1,0 +1,158 @@
+"""Extension: what-if capacity planning over the cost-model stack.
+
+The whole point of a calibrated generic cost model is pricing work on
+machines you don't have.  This bench asks one concrete capacity
+question on the contention-heavy mix at 8 clients — *"what is the
+smallest configuration (memory speed × cores) whose predicted p95
+beats the baseline machine's by ≥ 10%?"* — and then holds the
+machinery to account:
+
+* **determinism** — the same seeded sweep, run twice from scratch,
+  must serialize to byte-identical report JSON (what makes the emitted
+  artifact diffable in CI);
+* **verification** — the recommended configuration's *predicted*
+  makespan and p95 must agree with a trace-driven simulator run of the
+  same workload on that machine within the standard 0.35
+  model-vs-simulator band (the prediction is also checked on every
+  Pareto-frontier row);
+* **the answer itself** — the recommendation must meet the target,
+  at least one candidate must fail it (the question is non-trivial),
+  and no cheaper candidate may meet it (the recommender really
+  returns the *smallest* such config).
+
+Artifacts: ``BENCH_ext_whatif.json`` (bench schema: predicted vs
+simulator-measured makespan per spot-checked row) and
+``ext_whatif.report.json`` (the full what-if report, schema-checked by
+``benchmarks/schema_check.py`` via
+:func:`repro.obs.validate_whatif_report`).  Honours the shared
+``--quick`` / ``REPRO_BENCH_QUICK`` knob (smaller grid and stream,
+same assertions).
+"""
+
+import json
+import pathlib
+
+from repro.obs import validate_whatif_report
+from repro.whatif import GeneratedWorkload, ProfileSpace, WhatIfSweep
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The established model-vs-simulator agreement band.
+MODEL_TOLERANCE = 0.35
+
+#: The capacity question: predicted p95 must beat the baseline's by
+#: at least this factor.
+TARGET_IMPROVEMENT = 0.90
+
+CLIENTS = 8
+
+
+def _sweep(quick):
+    mem_axis = [200.0, 800.0] if quick else [200.0, 400.0, 800.0]
+    space = ProfileSpace({"mem_ns": mem_axis, "cores": [2, 4]},
+                         name="mem-speed × cores")
+    workload = GeneratedWorkload(seed=7, scale=512,
+                                 mix="contention-heavy",
+                                 n_queries=16 if quick else 32,
+                                 clients=CLIENTS)
+    return WhatIfSweep(space, workload)
+
+
+def test_whatif_capacity_planning(quick, save_result, save_json):
+    # -- price the space, ask the question, verify the frontier ---------
+    sweep = _sweep(quick)
+    baseline_only = _sweep(quick)
+    target_p95 = (baseline_only.price(baseline_only.space.baseline())
+                  .p95_ns * TARGET_IMPROVEMENT)
+    report = sweep.run(slo_p95_ns=target_p95, spot_check="frontier")
+    everyone = [report.baseline, *report.outcomes()]
+
+    lines = [f"== Extension: what-if capacity planning "
+             f"(contention-heavy, {report.workload['queries']} queries, "
+             f"{CLIENTS} clients{', quick' if quick else ''}) ==",
+             report.render()]
+
+    # -- byte-determinism ----------------------------------------------
+    again = _sweep(quick).run(slo_p95_ns=target_p95,
+                              spot_check="frontier")
+    first = json.dumps(report.to_json(), indent=2, sort_keys=True)
+    second = json.dumps(again.to_json(), indent=2, sort_keys=True)
+    assert first == second, "seeded what-if sweep must be byte-stable"
+    lines.append(f"  report JSON byte-deterministic across runs "
+                 f"({len(first)} bytes)")
+
+    # -- the recommendation answers the question -----------------------
+    rec = report.recommendation
+    assert rec is not None, "some config must meet the target"
+    assert rec.predicted_p95_ns <= target_p95
+    assert rec.candidates_meeting < rec.candidates_considered, \
+        "the question must be non-trivial: someone has to fail it"
+    cheaper = [o for o in everyone if o.cost_proxy < rec.cost_proxy]
+    assert all(o.p95_ns > target_p95 for o in cheaper), \
+        "no cheaper config may meet the target"
+    lines.append(
+        f"  question: smallest config with p95 ≤ "
+        f"{target_p95 / 1e6:.2f} ms ({TARGET_IMPROVEMENT:.0%} of "
+        f"baseline) at {CLIENTS} clients")
+    lines.append(
+        f"  answer:   '{rec.label}' — predicted p95 "
+        f"{rec.predicted_p95_ns / 1e6:.2f} ms at cost "
+        f"{rec.cost_proxy:.1f} ({rec.candidates_meeting}/"
+        f"{rec.candidates_considered} configs meet it; derived "
+        f"admission slack {rec.admission_slack})")
+
+    # -- simulator verification of the spot-checked rows ---------------
+    checked = [o for o in everyone if o.spot_check is not None]
+    assert checked, "the frontier must have been spot-checked"
+    recommended = report.outcome(rec.label)
+    assert recommended.spot_check is not None, \
+        "the recommended config must be simulator-verified"
+    lines.append("  simulator spot checks:")
+    for outcome in checked:
+        spot = outcome.spot_check
+        lines.append(
+            f"    {outcome.label:<24} predicted "
+            f"{outcome.makespan_ns / 1e6:>7.2f} ms  measured "
+            f"{spot.measured_makespan_ns / 1e6:>7.2f} ms  "
+            f"makespan err {spot.makespan_error * 100:>5.1f}%  "
+            f"p95 err {spot.p95_error * 100:>5.1f}%")
+    assert recommended.spot_check.makespan_error < MODEL_TOLERANCE
+    assert recommended.spot_check.p95_error < MODEL_TOLERANCE
+    save_result("ext_whatif", "\n".join(lines))
+
+    # -- artifacts ------------------------------------------------------
+    payload_json = report.to_json()
+    assert validate_whatif_report(payload_json) == []
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ext_whatif.report.json").write_text(
+        json.dumps(payload_json, indent=2, sort_keys=True) + "\n")
+
+    payload = {
+        "kind": "bench",
+        "bench": "ext_whatif",
+        "sizes": [o.label for o in checked],
+        "series": [{
+            "size": o.label,
+            "predicted_ns": o.makespan_ns,
+            "measured_ns": o.spot_check.measured_makespan_ns,
+            "error": o.spot_check.makespan_error,
+            "predicted_p95_ns": o.p95_ns,
+            "measured_p95_ns": o.spot_check.measured_p95_ns,
+            "p95_error": o.spot_check.p95_error,
+            "fingerprint": o.fingerprint,
+            "on_frontier": True,
+        } for o in checked],
+        "band": {
+            "tolerance": MODEL_TOLERANCE,
+            "max_error": max(o.spot_check.makespan_error
+                             for o in checked),
+        },
+        "question": dict(rec.question),
+        "recommendation": rec.to_json(),
+        "workload": report.workload,
+    }
+    save_json("ext_whatif", payload)
+
+    # the recommended row is in-band; the whole frontier should be too
+    # on this validated profile family
+    assert payload["band"]["max_error"] < MODEL_TOLERANCE

@@ -1,6 +1,8 @@
 #!/usr/bin/env python
 """Validate every emitted ``benchmarks/results/BENCH_*.json`` against
-the shared bench schema (:mod:`repro.validation.bench_schema`).
+the shared bench schema (:mod:`repro.validation.bench_schema`), and
+every ``*.report.json`` what-if report against
+:func:`repro.obs.schema.validate_whatif_report`.
 
 CI smoke step::
 
@@ -16,6 +18,7 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
+from repro.obs.schema import validate_whatif_report_file  # noqa: E402
 from repro.validation.bench_schema import validate_results_dir  # noqa: E402
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
@@ -23,6 +26,10 @@ RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 def main() -> int:
     reports = validate_results_dir(RESULTS_DIR)
+    reports.update({
+        path.name: validate_whatif_report_file(path)
+        for path in sorted(RESULTS_DIR.glob("*.report.json"))
+    })
     if not reports:
         print(f"no BENCH_*.json found under {RESULTS_DIR} — "
               "run a bench that emits machine-readable results first "

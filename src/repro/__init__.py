@@ -22,6 +22,10 @@ The package provides:
 * :mod:`repro.obs` — dual-clock tracing spans (Chrome ``trace_event``
   export), a labeled metrics registry (Prometheus exposition), and an
   EWMA predicted-vs-measured drift monitor.
+* :mod:`repro.whatif` — parametric hardware sweeps and
+  capacity-planning reports: price a workload on machines you don't
+  have, find the Pareto frontier, recommend the smallest config
+  meeting an SLO.
 """
 
 from .hardware import (
@@ -35,7 +39,7 @@ from .hardware import (
 )
 from .simulator import MemorySystem
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 
 def __getattr__(name):
@@ -53,6 +57,12 @@ def __getattr__(name):
     if name == "Recalibrator":
         from .calibrator import Recalibrator
         return Recalibrator
+    if name == "ProfileSpace":
+        from .whatif import ProfileSpace
+        return ProfileSpace
+    if name == "WhatIfSweep":
+        from .whatif import WhatIfSweep
+        return WhatIfSweep
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -61,6 +71,8 @@ __all__ = [
     "QueryServer",
     "Tracer",
     "Recalibrator",
+    "ProfileSpace",
+    "WhatIfSweep",
     "CacheLevel",
     "MemoryHierarchy",
     "MemorySystem",

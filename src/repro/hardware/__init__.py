@@ -8,6 +8,7 @@ from .profiles import (
     modern_x86,
     origin2000,
     origin2000_scaled,
+    parametric_profile,
     tiny_test_machine,
 )
 from .serialization import (
@@ -27,6 +28,7 @@ __all__ = [
     "modern_x86",
     "disk_extended",
     "disk_extended_scaled",
+    "parametric_profile",
     "tiny_test_machine",
     "hierarchy_to_dict",
     "hierarchy_from_dict",

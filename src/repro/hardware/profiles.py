@@ -28,6 +28,7 @@ __all__ = [
     "disk_extended",
     "disk_extended_scaled",
     "tiny_test_machine",
+    "parametric_profile",
 ]
 
 KB = 1024
@@ -230,6 +231,111 @@ def disk_extended_scaled(base: MemoryHierarchy | None = None,
         levels=base.levels + (pool,),
         tlbs=base.tlbs,
         cpu_speed_mhz=base.cpu_speed_mhz,
+    )
+
+
+def _capacity(kb: float, line_size: int, what: str) -> int:
+    """``kb`` kilobytes rounded to whole ``line_size`` lines (a
+    :class:`CacheLevel` capacity must be a line multiple)."""
+    if kb <= 0:
+        raise ValueError(f"{what} must be positive, got {kb!r}")
+    lines = round(kb * KB / line_size)
+    if lines < 1:
+        raise ValueError(
+            f"{what}={kb!r} KB is smaller than one {line_size}-byte line")
+    return lines * line_size
+
+
+def parametric_profile(*, name: str | None = None,
+                       l1_kb: float = 2.0, l1_line: int = 32,
+                       l1_assoc: int = 2,
+                       l1_seq_ns: float = 8.0, l1_rand_ns: float = 24.0,
+                       l2_kb: float = 64.0, l2_line: int = 128,
+                       l2_assoc: int = 2,
+                       mem_ns: float = 400.0,
+                       mem_seq_ns: float | None = None,
+                       tlb_entries: int = 8, page_kb: float = 4.0,
+                       tlb_ns: float = 228.0,
+                       pool_pages: int | None = None, page_size: int = 128,
+                       pool_seq_ns: float = 1_000.0,
+                       pool_rand_ns: float = 25_000.0,
+                       cpu_mhz: float = 250.0) -> MemoryHierarchy:
+    """A two-level (+ TLB, + optional buffer pool) hierarchy built from
+    explicit knobs — the constructor behind what-if profile spaces
+    (:mod:`repro.whatif`), so benches and tests stop hand-wiring
+    :class:`CacheLevel` tuples.
+
+    The defaults reproduce :func:`origin2000_scaled` level for level,
+    so ``parametric_profile()`` is the simulator-friendly baseline and
+    every knob is a departure from it.  ``mem_ns`` is the *random*
+    L2-miss latency (the paper's Table 3 headline number); the
+    sequential miss latency defaults to ``mem_ns`` scaled by the
+    calibrated Origin2000 seq/rand ratio (188/400), so turning the one
+    memory-latency knob preserves the bandwidth/latency relationship
+    calibration found.  ``pool_pages`` (when set) appends a
+    :func:`disk_extended_scaled`-style buffer-pool level of that many
+    ``page_size``-byte pages.
+
+    Capacities are rounded to whole lines; every :class:`CacheLevel`
+    and :class:`MemoryHierarchy` invariant (capacity ordering, TLB
+    separation, ``rand >= seq``) is re-checked by the constructors, so
+    invalid corners of a swept space raise :class:`ValueError` instead
+    of producing an unbuildable machine.
+    """
+    if mem_seq_ns is None:
+        mem_seq_ns = mem_ns * (188.0 / 400.0)
+    if tlb_entries < 1:
+        raise ValueError("tlb_entries must be positive")
+    levels = [
+        CacheLevel(
+            name="L1",
+            capacity=_capacity(l1_kb, l1_line, "l1_kb"),
+            line_size=l1_line,
+            associativity=l1_assoc,
+            seq_miss_latency_ns=l1_seq_ns,
+            rand_miss_latency_ns=l1_rand_ns,
+        ),
+        CacheLevel(
+            name="L2",
+            capacity=_capacity(l2_kb, l2_line, "l2_kb"),
+            line_size=l2_line,
+            associativity=l2_assoc,
+            seq_miss_latency_ns=mem_seq_ns,
+            rand_miss_latency_ns=mem_ns,
+        ),
+    ]
+    if pool_pages is not None:
+        if pool_pages < 1:
+            raise ValueError("pool_pages must be positive")
+        levels.append(CacheLevel(
+            name="BufferPool",
+            capacity=pool_pages * page_size,
+            line_size=page_size,
+            associativity=0,
+            seq_miss_latency_ns=pool_seq_ns,
+            rand_miss_latency_ns=pool_rand_ns,
+            is_pool=True,
+        ))
+    page_bytes = _capacity(page_kb, 1, "page_kb")
+    if name is None:
+        pool = (f", pool {pool_pages}p" if pool_pages is not None else "")
+        name = (f"parametric (l1 {l1_kb:g}KB, l2 {l2_kb:g}KB, "
+                f"mem {mem_ns:g}ns{pool})")
+    return MemoryHierarchy(
+        name=name,
+        levels=tuple(levels),
+        tlbs=(
+            CacheLevel(
+                name="TLB",
+                capacity=tlb_entries * page_bytes,
+                line_size=page_bytes,
+                associativity=0,
+                seq_miss_latency_ns=tlb_ns,
+                rand_miss_latency_ns=tlb_ns,
+                is_tlb=True,
+            ),
+        ),
+        cpu_speed_mhz=cpu_mhz,
     )
 
 

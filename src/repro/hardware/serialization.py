@@ -86,11 +86,17 @@ def profile_fingerprint(hierarchy: MemoryHierarchy) -> str:
     Hashes the canonical JSON form of the profile (every Table 1
     parameter, the TLBs, and the clock speed), so two profiles have
     equal fingerprints exactly when the cost model would price every
-    plan identically on them.  Plan caches use this as the profile
+    plan identically on them.  The display name is deliberately
+    excluded: a :func:`~repro.hardware.parametric_profile` twin of a
+    named stock profile prices identically, so it fingerprints
+    identically — which is what lets what-if candidates join the
+    serving reports they predict.  Plan caches use this as the profile
     component of their keys: recalibrating a machine changes the
     fingerprint, which silently retires every cached plan.
     """
-    payload = json.dumps(hierarchy_to_dict(hierarchy), sort_keys=True,
+    content = hierarchy_to_dict(hierarchy)
+    del content["name"]
+    payload = json.dumps(content, sort_keys=True,
                          separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 

@@ -40,6 +40,8 @@ from .schema import (
     validate_manifest_file,
     validate_metrics_json,
     validate_trace_file,
+    validate_whatif_report,
+    validate_whatif_report_file,
 )
 from .trace import CLOCKS, SIM_PID, WALL_PID, Span, Tracer
 
@@ -68,4 +70,6 @@ __all__ = [
     "validate_events_file",
     "validate_manifest",
     "validate_manifest_file",
+    "validate_whatif_report",
+    "validate_whatif_report_file",
 ]

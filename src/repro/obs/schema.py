@@ -15,6 +15,10 @@ artifacts:
 * Recalibration sidecar manifests (:func:`validate_manifest`) — the
   Tracekit-style record a published profile carries
   (:func:`repro.calibrator.build_manifest`).
+* What-if capacity-planning reports (:func:`validate_whatif_report`)
+  — the :meth:`~repro.whatif.WhatIfReport.to_json` shape: baseline,
+  candidates with deltas and optional spot checks, frontier labels,
+  and the recommendation when one was asked for.
 """
 
 from __future__ import annotations
@@ -30,6 +34,8 @@ __all__ = [
     "validate_events_file",
     "validate_manifest",
     "validate_manifest_file",
+    "validate_whatif_report",
+    "validate_whatif_report_file",
 ]
 
 
@@ -347,6 +353,194 @@ def validate_manifest_file(path) -> list[str]:
     except (OSError, ValueError) as exc:
         return [f"unreadable: {exc}"]
     return validate_manifest(data)
+
+
+# ----------------------------------------------------------------------
+# what-if capacity-planning report
+# ----------------------------------------------------------------------
+
+def _validate_outcome(data, where: str, *,
+                      spot_checked: bool = True) -> list[str]:
+    """One priced candidate row (:class:`repro.whatif.CandidateOutcome`)."""
+    if not isinstance(data, dict):
+        return [f"{where} is not an object"]
+    problems: list[str] = []
+    if not isinstance(data.get("label"), str) or not data["label"]:
+        problems.append(f"{where}.label must be a non-empty string")
+    if not isinstance(data.get("params"), dict):
+        problems.append(f"{where}.params must be an object")
+    if not isinstance(data.get("fingerprint"), str) \
+            or not data["fingerprint"]:
+        problems.append(f"{where}.fingerprint must be a non-empty string")
+    if not _is_number(data.get("cost_proxy")) or data["cost_proxy"] <= 0:
+        problems.append(f"{where}.cost_proxy must be a positive number")
+    if not isinstance(data.get("cores"), int) \
+            or isinstance(data.get("cores"), bool) or data["cores"] < 1:
+        problems.append(f"{where}.cores must be a positive int")
+    budget = data.get("memory_budget")
+    if budget is not None and (not isinstance(budget, int)
+                               or isinstance(budget, bool) or budget < 1):
+        problems.append(
+            f"{where}.memory_budget must be a positive int or null")
+    predicted = data.get("predicted")
+    if not isinstance(predicted, dict):
+        problems.append(f"{where}.predicted must be an object")
+    else:
+        for key in ("makespan_ns", "p50_ns", "p95_ns", "throughput_qps"):
+            value = predicted.get(key)
+            if not _is_number(value) or value < 0:
+                problems.append(
+                    f"{where}.predicted.{key} must be a non-negative "
+                    "number")
+        if _is_number(predicted.get("p50_ns")) \
+                and _is_number(predicted.get("p95_ns")) \
+                and predicted["p95_ns"] < predicted["p50_ns"]:
+            problems.append(f"{where}.predicted p95 below p50")
+    for key in ("batches", "co_run_batches"):
+        value = data.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            problems.append(f"{where}.{key} must be a non-negative int")
+    if not _is_number(data.get("max_admission_inflation")) \
+            or data["max_admission_inflation"] < 0:
+        problems.append(
+            f"{where}.max_admission_inflation must be a non-negative "
+            "number")
+    spot = data.get("spot_check")
+    if spot is not None:
+        if not spot_checked:
+            problems.append(f"{where}.spot_check unexpected here")
+        elif not isinstance(spot, dict):
+            problems.append(f"{where}.spot_check must be an object or null")
+        else:
+            for key in ("measured_makespan_ns", "measured_p50_ns",
+                        "measured_p95_ns", "measured_throughput_qps",
+                        "makespan_error", "p95_error",
+                        "mean_contention_error"):
+                value = spot.get(key)
+                if not _is_number(value) or value < 0:
+                    problems.append(
+                        f"{where}.spot_check.{key} must be a "
+                        "non-negative number")
+    return problems
+
+
+def validate_whatif_report(data) -> list[str]:
+    """All schema violations of one what-if report
+    (:meth:`repro.whatif.WhatIfReport.to_json`)."""
+    if not isinstance(data, dict):
+        return ["report is not a JSON object"]
+    problems: list[str] = []
+    if data.get("kind") != "whatif_report":
+        problems.append(
+            f"kind must be 'whatif_report', got {data.get('kind')!r}")
+    if data.get("schema_version") != 1:
+        problems.append("schema_version must be 1, "
+                        f"got {data.get('schema_version')!r}")
+    for key in ("space", "policy"):
+        if not isinstance(data.get(key), str) or not data[key]:
+            problems.append(f"{key} must be a non-empty string")
+    workload = data.get("workload")
+    if not isinstance(workload, dict):
+        problems.append("workload must be an object")
+    else:
+        if workload.get("source") not in ("generated", "captured"):
+            problems.append("workload.source must be 'generated' or "
+                            f"'captured', got {workload.get('source')!r}")
+        for key in ("queries", "clients"):
+            value = workload.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                problems.append(f"workload.{key} must be a positive int")
+    problems.extend(_validate_outcome(data.get("baseline"), "baseline"))
+    labels: set[str] = set()
+    baseline = data.get("baseline")
+    if isinstance(baseline, dict) and isinstance(baseline.get("label"),
+                                                 str):
+        labels.add(baseline["label"])
+    candidates = data.get("candidates")
+    if not isinstance(candidates, list) or not candidates:
+        problems.append("candidates must be a non-empty list")
+        candidates = []
+    for index, row in enumerate(candidates):
+        where = f"candidates[{index}]"
+        problems.extend(_validate_outcome(row, where))
+        if not isinstance(row, dict):
+            continue
+        if isinstance(row.get("label"), str):
+            if row["label"] in labels:
+                problems.append(f"{where}: duplicate label "
+                                f"{row['label']!r}")
+            labels.add(row["label"])
+        delta = row.get("delta")
+        if not isinstance(delta, dict) or not all(
+                _is_number(delta.get(key))
+                for key in ("makespan", "p95", "throughput", "cost")):
+            problems.append(
+                f"{where}.delta must carry numeric "
+                "makespan/p95/throughput/cost")
+        if not isinstance(row.get("on_frontier"), bool):
+            problems.append(f"{where}.on_frontier must be a boolean")
+    skipped = data.get("skipped")
+    if not isinstance(skipped, list):
+        problems.append("skipped must be a list")
+    else:
+        for index, entry in enumerate(skipped):
+            where = f"skipped[{index}]"
+            if not isinstance(entry, dict) \
+                    or not isinstance(entry.get("params"), dict) \
+                    or not isinstance(entry.get("reason"), str) \
+                    or not entry["reason"]:
+                problems.append(
+                    f"{where} must carry params (object) and a "
+                    "non-empty reason")
+    frontier = data.get("frontier")
+    if not isinstance(frontier, list) or not frontier:
+        problems.append("frontier must be a non-empty list")
+    else:
+        for index, label in enumerate(frontier):
+            if not isinstance(label, str) or label not in labels:
+                problems.append(
+                    f"frontier[{index}] must name a priced candidate, "
+                    f"got {label!r}")
+    recommendation = data.get("recommendation")
+    if recommendation is not None:
+        if not isinstance(recommendation, dict):
+            problems.append("recommendation must be an object or null")
+        else:
+            question = recommendation.get("question")
+            if not isinstance(question, dict) \
+                    or not _is_number(question.get("p95_ns")) \
+                    or question["p95_ns"] <= 0:
+                problems.append(
+                    "recommendation.question must carry a positive "
+                    "p95_ns")
+            label = recommendation.get("label")
+            if not isinstance(label, str) or label not in labels:
+                problems.append(
+                    "recommendation.label must name a priced candidate, "
+                    f"got {label!r}")
+            for key in ("cost_proxy", "predicted_p95_ns",
+                        "predicted_makespan_ns", "admission_slack"):
+                value = recommendation.get(key)
+                if not _is_number(value) or value <= 0:
+                    problems.append(
+                        f"recommendation.{key} must be a positive number")
+            for key in ("candidates_considered", "candidates_meeting"):
+                value = recommendation.get(key)
+                if not isinstance(value, int) or isinstance(value, bool) \
+                        or value < 1:
+                    problems.append(
+                        f"recommendation.{key} must be a positive int")
+    return problems
+
+
+def validate_whatif_report_file(path) -> list[str]:
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    return validate_whatif_report(data)
 
 
 def validate_events_file(path) -> list[str]:

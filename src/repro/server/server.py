@@ -132,13 +132,17 @@ class ServingReport:
 
     def __init__(self, policy: str, responses: list[ServerResponse],
                  batches: list[BatchMetrics], slo: dict,
-                 breaches: list, tenants: list[dict]) -> None:
+                 breaches: list, tenants: list[dict],
+                 fingerprint: str = "") -> None:
         self.policy = policy
         self.responses = responses
         self.batches = batches
         self.slo = slo
         self.breaches = breaches
         self.tenants = tenants
+        #: Profile fingerprint of the machine the server ran on — joins
+        #: this report to the what-if candidate that predicted it.
+        self.fingerprint = fingerprint
 
     # -- headline numbers ----------------------------------------------
     @property
@@ -197,6 +201,7 @@ class ServingReport:
         return {
             "kind": "serving_report",
             "policy": self.policy,
+            "fingerprint": self.fingerprint,
             "completed": len(self.completed),
             "shed": len(self.shed),
             "makespan_ns": self.makespan_ns,
@@ -890,7 +895,60 @@ class QueryServer:
             breaches=list(self.slo.breaches),
             tenants=[t.stats() for t in
                      sorted(self.tenants.values(),
-                            key=lambda t: t.index)])
+                            key=lambda t: t.index)],
+            fingerprint=self.hierarchy.fingerprint())
+
+    def capacity_plan(self, space, *, tenant: str | None = None,
+                      slo_p95_ns: float | None = None,
+                      clients: int | None = None,
+                      spot_check: str = "none",
+                      apply_slack: bool = False):
+        """Answer a capacity question from the server's own recorded
+        mix: re-price everything served so far (one tenant's stream, or
+        all tenants') on every candidate of a
+        :class:`~repro.whatif.ProfileSpace`.
+
+        The served queries and the owning tenant's catalog are captured
+        by value (:class:`~repro.whatif.CapturedWorkload`), then priced
+        under the server's *own* admission configuration (mode, slack,
+        lookahead, replay quantum) so the what-if batches are the ones
+        this server would actually form.  With ``apply_slack=True`` and
+        an SLO target, the recommendation's derived admission slack is
+        installed on the live :class:`AdmissionController` — the
+        planning loop closed.
+
+        Returns the :class:`~repro.whatif.WhatIfReport`.
+        """
+        from ..whatif import CapturedWorkload, WhatIfSweep
+
+        if tenant is not None:
+            owner = self.tenant(tenant)
+            served = [r for r in self._responses
+                      if r.ok and r.tenant == tenant]
+        else:
+            owners = sorted(self.tenants.values(), key=lambda t: t.index)
+            if not owners:
+                raise RuntimeError("no tenants registered")
+            # All tenants share generator-built catalogs in practice;
+            # capture the first tenant's tables as the representative.
+            owner = owners[0]
+            served = [r for r in self._responses if r.ok]
+        if not served:
+            raise RuntimeError("nothing served yet — a capacity plan "
+                               "needs a recorded mix")
+        served.sort(key=lambda r: r.qid)
+        workload = CapturedWorkload.from_session(
+            owner.session, [(r.kind, r.text) for r in served],
+            clients=clients if clients is not None
+            else max(1, len(self.tenants)))
+        sweep = WhatIfSweep(space, workload, policy=self.admission.mode,
+                            slack=self.admission.slack,
+                            lookahead=self.admission.lookahead,
+                            quantum=self.quantum)
+        report = sweep.run(slo_p95_ns=slo_p95_ns, spot_check=spot_check)
+        if apply_slack and report.recommendation is not None:
+            self.admission.slack = report.recommendation.admission_slack
+        return report
 
     def __repr__(self) -> str:
         return (f"QueryServer(mode={self.admission.mode!r}, "

@@ -345,4 +345,5 @@ class ServiceExecutor:
             clock += makespan
         query_metrics.sort(key=lambda m: m.qid)
         return WorkloadReport(self.policy.name, query_metrics,
-                              batch_metrics)
+                              batch_metrics,
+                              fingerprint=self.session.fingerprint)

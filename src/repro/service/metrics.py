@@ -125,12 +125,16 @@ class WorkloadReport:
     """The executor's result: every query, every batch, one policy."""
 
     def __init__(self, policy: str, queries: list[QueryMetrics],
-                 batches: list[BatchMetrics]) -> None:
+                 batches: list[BatchMetrics],
+                 fingerprint: str = "") -> None:
         if not queries:
             raise ValueError("a report needs at least one query")
         self.policy = policy
         self.queries = queries
         self.batches = batches
+        #: Profile fingerprint of the machine the run executed on —
+        #: joins this report to the what-if candidate that predicted it.
+        self.fingerprint = fingerprint
 
     # -- headline numbers ----------------------------------------------
     @property
@@ -180,6 +184,7 @@ class WorkloadReport:
         return {
             "kind": "workload_report",
             "policy": self.policy,
+            "fingerprint": self.fingerprint,
             "makespan_ns": self.makespan_ns,
             "throughput_qps": self.throughput_qps,
             "p50_latency_ns": self.p50_latency_ns,

@@ -1,0 +1,259 @@
+"""What-if reports: baseline deltas, Pareto frontier, SLO recommender.
+
+A :class:`WhatIfReport` collects the sweep's priced candidates and
+answers the capacity-planning questions the numbers exist for:
+
+* **deltas** — every candidate relative to the baseline machine
+  (relative makespan / p95 / throughput / cost changes);
+* **Pareto frontier** — the undominated set on (cost proxy, predicted
+  makespan): a candidate is on the frontier iff no cheaper-or-equal
+  candidate finishes the workload sooner;
+* **recommendation** — "the smallest config meeting p95 ≤ X at N
+  clients": among candidates (baseline included) whose predicted p95
+  meets the target, the minimum by cost proxy.  The recommendation
+  also carries an **admission slack**: the recommended machine's
+  largest observed per-admission makespan inflation (plus 5%
+  headroom), which a :class:`~repro.server.QueryServer` can adopt as
+  its :class:`~repro.server.AdmissionController` slack so the live
+  scheduler re-forms the co-run batches the plan was priced under.
+
+Serialization is deterministic (sorted keys, no wall-clock stamps):
+the same sweep yields byte-identical JSON, which is what lets CI diff
+reports across runs.  ``validate_whatif_report`` in
+:mod:`repro.obs.schema` checks the emitted shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sweep → report)
+    from .sweep import CandidateOutcome, SpotCheck
+
+__all__ = ["WhatIfReport", "Recommendation", "derive_admission_slack"]
+
+#: Bounds for the recommender-derived admission slack: never so tight
+#: the server degenerates to serial (< 0.25), never looser than 4×.
+MIN_SLACK = 0.25
+MAX_SLACK = 4.0
+#: Headroom multiplier over the observed worst admission inflation.
+SLACK_HEADROOM = 1.05
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The recommender's answer to one SLO question."""
+
+    #: The question as asked: p95 target (ns), client count, policy.
+    question: dict
+    label: str
+    fingerprint: str
+    params: dict
+    cost_proxy: float
+    predicted_p95_ns: float
+    predicted_makespan_ns: float
+    #: Admission slack that re-admits every co-runner the sweep packed
+    #: on the recommended machine (worst marginal inflation + 5%),
+    #: clamped to [0.25, 4.0]; 1.0 when no co-run happened.
+    admission_slack: float
+    candidates_considered: int
+    candidates_meeting: int
+
+    def to_json(self) -> dict:
+        return {
+            "question": dict(self.question),
+            "label": self.label,
+            "fingerprint": self.fingerprint,
+            "params": dict(self.params),
+            "cost_proxy": self.cost_proxy,
+            "predicted_p95_ns": self.predicted_p95_ns,
+            "predicted_makespan_ns": self.predicted_makespan_ns,
+            "admission_slack": self.admission_slack,
+            "candidates_considered": self.candidates_considered,
+            "candidates_meeting": self.candidates_meeting,
+        }
+
+
+def derive_admission_slack(max_admission_inflation: float) -> float:
+    """The admission slack implied by a priced candidate: its worst
+    marginal makespan inflation plus headroom, clamped — the smallest
+    server setting under which the live scheduler would still admit
+    every co-runner the sweep's batches contained."""
+    if max_admission_inflation <= 0.0:
+        return 1.0
+    return max(MIN_SLACK,
+               round(min(MAX_SLACK,
+                         max_admission_inflation * SLACK_HEADROOM), 3))
+
+
+class WhatIfReport:
+    """The sweep's full result: baseline, candidates, skipped grid
+    points, frontier, and (once asked) a recommendation."""
+
+    KIND = "whatif_report"
+    SCHEMA_VERSION = 1
+
+    def __init__(self, *, space: str, policy: str, workload: dict,
+                 baseline: "CandidateOutcome",
+                 candidates: Sequence["CandidateOutcome"],
+                 skipped: Sequence[dict] = ()) -> None:
+        self.space = space
+        self.policy = policy
+        self.workload = dict(workload)
+        self.baseline = baseline
+        self._candidates = list(candidates)
+        self.skipped = [dict(s) for s in skipped]
+        self.recommendation: Recommendation | None = None
+
+    # -- access --------------------------------------------------------
+    def outcomes(self) -> list:
+        """The swept candidates (baseline excluded)."""
+        return list(self._candidates)
+
+    def outcome(self, label: str) -> "CandidateOutcome":
+        if label == self.baseline.label:
+            return self.baseline
+        for candidate in self._candidates:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no candidate labelled {label!r}")
+
+    def attach_spot_check(self, label: str, check: "SpotCheck") -> None:
+        """Record a simulator verification for one priced row."""
+        if label == self.baseline.label:
+            self.baseline = replace(self.baseline, spot_check=check)
+            return
+        for i, candidate in enumerate(self._candidates):
+            if candidate.label == label:
+                self._candidates[i] = replace(candidate, spot_check=check)
+                return
+        raise KeyError(f"no candidate labelled {label!r}")
+
+    # -- analysis ------------------------------------------------------
+    def delta(self, outcome: "CandidateOutcome") -> dict:
+        """Relative change vs the baseline machine (negative makespan /
+        p95 deltas mean faster, positive throughput means more q/s)."""
+        base = self.baseline
+
+        def rel(value: float, reference: float) -> float:
+            return (value - reference) / reference if reference else 0.0
+
+        return {
+            "makespan": rel(outcome.makespan_ns, base.makespan_ns),
+            "p95": rel(outcome.p95_ns, base.p95_ns),
+            "throughput": rel(outcome.throughput_qps, base.throughput_qps),
+            "cost": rel(outcome.cost_proxy, base.cost_proxy),
+        }
+
+    def frontier_outcomes(self) -> list:
+        """The Pareto-undominated rows on (cost proxy, predicted
+        makespan), baseline included, cheapest first."""
+        pool = sorted([self.baseline, *self._candidates],
+                      key=lambda o: (o.cost_proxy, o.makespan_ns, o.label))
+        frontier = []
+        best = float("inf")
+        for outcome in pool:
+            if outcome.makespan_ns < best:
+                frontier.append(outcome)
+                best = outcome.makespan_ns
+        return frontier
+
+    def recommend(self, *, p95_ns: float) -> Recommendation | None:
+        """Answer "smallest config meeting p95 ≤ ``p95_ns``" over the
+        baseline and every candidate; stores and returns the answer
+        (``None`` when no config meets the target)."""
+        if p95_ns <= 0:
+            raise ValueError("p95_ns must be positive")
+        pool = [self.baseline, *self._candidates]
+        meeting = [o for o in pool if o.p95_ns <= p95_ns]
+        question = {
+            "p95_ns": p95_ns,
+            "clients": self.workload.get("clients"),
+            "policy": self.policy,
+        }
+        if not meeting:
+            self.recommendation = None
+            return None
+        chosen = min(meeting, key=lambda o: (
+            o.cost_proxy, o.memory_budget or 0, o.makespan_ns, o.label))
+        self.recommendation = Recommendation(
+            question=question, label=chosen.label,
+            fingerprint=chosen.fingerprint, params=dict(chosen.params),
+            cost_proxy=chosen.cost_proxy,
+            predicted_p95_ns=chosen.p95_ns,
+            predicted_makespan_ns=chosen.makespan_ns,
+            admission_slack=derive_admission_slack(
+                chosen.max_admission_inflation),
+            candidates_considered=len(pool),
+            candidates_meeting=len(meeting))
+        return self.recommendation
+
+    # -- serialization -------------------------------------------------
+    def to_json(self) -> dict:
+        frontier_labels = [o.label for o in self.frontier_outcomes()]
+        candidates = []
+        for outcome in self._candidates:
+            row = outcome.to_json()
+            row["delta"] = self.delta(outcome)
+            row["on_frontier"] = outcome.label in frontier_labels
+            candidates.append(row)
+        return {
+            "kind": self.KIND,
+            "schema_version": self.SCHEMA_VERSION,
+            "space": self.space,
+            "policy": self.policy,
+            "workload": self.workload,
+            "baseline": self.baseline.to_json(),
+            "candidates": candidates,
+            "skipped": self.skipped,
+            "frontier": frontier_labels,
+            "recommendation": (None if self.recommendation is None
+                               else self.recommendation.to_json()),
+        }
+
+    # -- presentation --------------------------------------------------
+    def render(self) -> str:
+        """A compact text table: one row per candidate, frontier rows
+        starred, spot-checked rows showing the measured error."""
+        frontier = {o.label for o in self.frontier_outcomes()}
+        lines = [
+            f"what-if sweep '{self.space}' ({self.policy}, "
+            f"{self.workload.get('queries', '?')} queries, "
+            f"{self.workload.get('clients', '?')} clients)",
+            f"  {'candidate':<42} {'cost':>10} {'makespan':>12} "
+            f"{'p95':>12} {'Δp95':>8}",
+        ]
+        for outcome in [self.baseline, *self._candidates]:
+            star = "*" if outcome.label in frontier else " "
+            delta = self.delta(outcome)["p95"]
+            row = (f" {star}{outcome.label:<42} "
+                   f"{outcome.cost_proxy:>10.1f} "
+                   f"{outcome.makespan_ns / 1e6:>10.2f}ms "
+                   f"{outcome.p95_ns / 1e6:>10.2f}ms "
+                   f"{delta * 100:>+7.1f}%")
+            if outcome.spot_check is not None:
+                row += (f"  [sim p95 err "
+                        f"{outcome.spot_check.p95_error * 100:.1f}%]")
+            lines.append(row)
+        if self.skipped:
+            lines.append(f"  skipped {len(self.skipped)} infeasible grid "
+                         f"point(s):")
+            for entry in self.skipped:
+                lines.append(f"    {entry['params']}: {entry['reason']}")
+        lines.append(f"  frontier: {', '.join(sorted(frontier))}")
+        rec = self.recommendation
+        if rec is not None:
+            lines.append(
+                f"  recommend '{rec.label}' for p95 ≤ "
+                f"{rec.question['p95_ns'] / 1e6:.2f} ms: predicted p95 "
+                f"{rec.predicted_p95_ns / 1e6:.2f} ms at cost "
+                f"{rec.cost_proxy:.1f} "
+                f"({rec.candidates_meeting}/{rec.candidates_considered} "
+                f"configs meet the target; admission slack "
+                f"{rec.admission_slack})")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"WhatIfReport({self.space!r}, policy={self.policy!r}, "
+                f"candidates={len(self._candidates)})")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hardware import CacheLevel, MemoryHierarchy
+from repro.hardware import CacheLevel, MemoryHierarchy, origin2000
 
 
 def level(name, capacity, line, tlb=False, seq=10.0, rand=20.0):
@@ -70,6 +70,74 @@ class TestAccessors:
 
     def test_describe_one_row_per_level(self, origin):
         assert len(origin.describe()) == 3
+
+
+class TestScaledLatencies:
+    """Edge cases of the recalibrator's parametric neighborhood."""
+
+    def test_latencies_rescaled(self, origin):
+        scaled = origin.scaled_latencies({"L2": (2.0, 3.0)})
+        assert scaled.level("L2").seq_miss_latency_ns == pytest.approx(
+            2.0 * origin.level("L2").seq_miss_latency_ns)
+        assert scaled.level("L2").rand_miss_latency_ns == pytest.approx(
+            3.0 * origin.level("L2").rand_miss_latency_ns)
+
+    def test_unnamed_levels_untouched(self, origin):
+        scaled = origin.scaled_latencies({"L2": (2.0, 2.0)})
+        for name in ("L1", "TLB"):
+            assert scaled.level(name).seq_miss_latency_ns == \
+                origin.level(name).seq_miss_latency_ns
+            assert scaled.level(name).rand_miss_latency_ns == \
+                origin.level(name).rand_miss_latency_ns
+
+    def test_invalid_rand_below_seq_rejected(self, origin):
+        # Dropping only the random latency far enough pushes it below
+        # the (unchanged) sequential latency: the CacheLevel invariant
+        # must reject the candidate, not build it.
+        with pytest.raises(ValueError, match="random miss latency"):
+            origin.scaled_latencies({"L2": (1.0, 0.01)})
+
+    def test_unknown_level_raises_keyerror(self, origin):
+        with pytest.raises(KeyError, match="L9"):
+            origin.scaled_latencies({"L9": (2.0, 2.0)})
+
+    def test_non_positive_multiplier_rejected(self, origin):
+        with pytest.raises(ValueError, match="positive"):
+            origin.scaled_latencies({"L2": (0.0, 2.0)})
+        with pytest.raises(ValueError, match="positive"):
+            origin.scaled_latencies({"L2": (1.0, -2.0)})
+
+    def test_capacities_immutable(self, origin):
+        scaled = origin.scaled_latencies({"L1": (2.0, 2.0),
+                                          "L2": (0.5, 0.5)})
+        for before, after in zip(origin.all_levels, scaled.all_levels):
+            assert after.capacity == before.capacity
+            assert after.line_size == before.line_size
+            assert after.associativity == before.associativity
+
+    def test_identity_multipliers_share_levels(self, origin):
+        scaled = origin.scaled_latencies({"L2": (1.0, 1.0)})
+        # a (1.0, 1.0) entry is a no-op: the level object is reused
+        assert scaled.level("L2") is origin.level("L2")
+
+    def test_fingerprint_stability(self, origin):
+        # same content → same fingerprint, every time
+        assert origin.fingerprint() == origin2000().fingerprint()
+        # identity repricing fingerprints identically even though the
+        # display name gained a suffix: the name is not priced, so it
+        # is not hashed
+        identity = origin.scaled_latencies({})
+        assert identity.name != origin.name
+        assert identity.fingerprint() == origin.fingerprint()
+
+    def test_fingerprint_moves_with_latencies(self, origin):
+        scaled = origin.scaled_latencies({"L2": (2.0, 2.0)},
+                                         name_suffix="")
+        assert scaled.fingerprint() != origin.fingerprint()
+        # and the change is deterministic
+        again = origin.scaled_latencies({"L2": (2.0, 2.0)},
+                                        name_suffix="")
+        assert again.fingerprint() == scaled.fingerprint()
 
 
 class TestScaledCapacities:
